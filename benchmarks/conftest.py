@@ -1,0 +1,63 @@
+"""Shared configuration for the per-figure benchmarks.
+
+Each ``test_bench_*`` file regenerates one table or figure of the paper at a
+reduced scale (a representative workload subset, shorter traces) so the full
+bench suite stays in the minutes range; the full-suite numbers recorded in
+EXPERIMENTS.md are produced by ``examples/run_experiments.py``.
+
+Every bench both *times* the regeneration (pytest-benchmark, single round —
+these are minutes-long macro benchmarks, not microbenchmarks) and *asserts*
+the qualitative shape the paper reports.
+"""
+
+import pytest
+
+from repro.eval.runner import RunSpec
+
+#: Workloads spanning the behaviour classes: strided FP (swim, wupwise),
+#: window-sensitive (bzip2), control-dependent (gcc), memory-bound (mcf),
+#: unpredictable (gobmk), near-constant (vortex), streaming INT (libquantum).
+BENCH_WORKLOADS = (
+    "swim",
+    "wupwise",
+    "bzip2",
+    "gcc",
+    "mcf",
+    "gobmk",
+    "vortex",
+    "libquantum",
+)
+
+#: Smaller subset for the many-configuration sweeps (Fig 6/7).
+SWEEP_WORKLOADS = ("swim", "wupwise", "bzip2")
+
+BENCH_UOPS = 60_000
+BENCH_WARMUP = 20_000
+
+#: Block-based (BeBoP) configurations need longer traces: the FPC gate
+#: (~129 correct predictions per entry and slot) converges at this scale.
+LONG_UOPS = 120_000
+LONG_WARMUP = 50_000
+
+#: Subset for Fig 8's final-configuration comparison.
+FIG8_WORKLOADS = ("swim", "wupwise", "bzip2", "gcc", "mcf", "gobmk")
+
+
+@pytest.fixture(scope="session")
+def bench_spec() -> RunSpec:
+    return RunSpec(uops=BENCH_UOPS, warmup=BENCH_WARMUP, workloads=BENCH_WORKLOADS)
+
+
+@pytest.fixture(scope="session")
+def sweep_spec() -> RunSpec:
+    return RunSpec(uops=LONG_UOPS, warmup=LONG_WARMUP, workloads=SWEEP_WORKLOADS)
+
+
+@pytest.fixture(scope="session")
+def fig8_spec() -> RunSpec:
+    return RunSpec(uops=LONG_UOPS, warmup=LONG_WARMUP, workloads=FIG8_WORKLOADS)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a macro-benchmark exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,117 @@
+"""Ablations of the paper's design choices (DESIGN.md §6).
+
+* FPC vs plain saturating confidence: saturating counters reach confidence
+  ~43x faster, so accuracy must drop (FPC is what buys the >99.5%).
+* Confidence propagation on block allocation (§III-D-b) on vs off.
+* Free load-immediate prediction (§II-B3) on vs off.
+"""
+
+from conftest import BENCH_UOPS, BENCH_WARMUP, LONG_UOPS, LONG_WARMUP, run_once
+
+from repro.bebop import BeBoPEngine, BlockDVTAGE, BlockDVTAGEConfig, SpeculativeWindow
+from repro.pipeline import PipelineModel, baseline_vp_6_60, eole_4_60
+from repro.pipeline.vp import InstructionVPAdapter
+from repro.predictors import DVTAGEPredictor
+from repro.predictors.confidence import FPCPolicy, saturating_policy
+from repro.eval.runner import get_trace
+
+WORKLOAD = "swim"
+
+
+def test_bench_ablation_fpc_vs_saturating(benchmark):
+    """FPC trades coverage ramp-up for accuracy; a plain 3-bit saturating
+    counter must show equal-or-worse used-prediction accuracy."""
+
+    def run():
+        trace = get_trace(WORKLOAD, BENCH_UOPS)
+        out = {}
+        for label, policy in (("fpc", FPCPolicy()),
+                              ("saturating", saturating_policy())):
+            model = PipelineModel(
+                baseline_vp_6_60(),
+                InstructionVPAdapter(DVTAGEPredictor(fpc=policy)),
+            )
+            out[label] = model.run(trace, warmup_uops=BENCH_WARMUP)
+        return out
+
+    stats = run_once(benchmark, run)
+    print()
+    for label, s in stats.items():
+        print(f"  {label:12s} IPC={s.ipc:.3f} cov={s.vp_coverage:.1%} "
+              f"acc={s.vp_accuracy:.4%} squashes={s.vp_squashes}")
+    assert stats["fpc"].vp_accuracy >= stats["saturating"].vp_accuracy - 1e-9
+    # Saturating counters ramp faster: coverage at least as high.
+    assert stats["saturating"].vp_coverage >= stats["fpc"].vp_coverage - 0.02
+
+
+def test_bench_ablation_confidence_propagation(benchmark):
+    """§III-D-b: propagating provider confidence into allocations preserves
+    coverage on blocks with mixed right/wrong slots."""
+
+    def run():
+        trace = get_trace(WORKLOAD, LONG_UOPS)
+        out = {}
+        for label, prop in (("propagate", True), ("reset", False)):
+            config = BlockDVTAGEConfig(propagate_confidence=prop)
+            engine = BeBoPEngine(BlockDVTAGE(config), SpeculativeWindow(32))
+            out[label] = PipelineModel(eole_4_60(), engine).run(
+                trace, warmup_uops=LONG_WARMUP
+            )
+        return out
+
+    stats = run_once(benchmark, run)
+    print()
+    for label, s in stats.items():
+        print(f"  {label:12s} IPC={s.ipc:.3f} cov={s.vp_coverage:.1%} "
+              f"acc={s.vp_accuracy:.4%}")
+    # Propagation must not lose coverage (it exists to preserve it).
+    assert stats["propagate"].vp_coverage >= stats["reset"].vp_coverage - 0.02
+
+
+def test_bench_ablation_free_load_immediates(benchmark):
+    """§II-B3: LIs processed for free in the front-end shrink the eligible
+    pool (they need no prediction, no validation)."""
+
+    def run():
+        trace = get_trace(WORKLOAD, BENCH_UOPS)
+        out = {}
+        for label, free in (("free_li", True), ("predict_li", False)):
+            config = baseline_vp_6_60().with_(free_load_immediates=free)
+            model = PipelineModel(
+                config, InstructionVPAdapter(DVTAGEPredictor())
+            )
+            out[label] = model.run(trace, warmup_uops=BENCH_WARMUP)
+        return out
+
+    stats = run_once(benchmark, run)
+    print()
+    for label, s in stats.items():
+        print(f"  {label:12s} IPC={s.ipc:.3f} eligible={s.vp_eligible}")
+    # Both modes work; free-LI must not lose performance.
+    assert stats["free_li"].ipc >= stats["predict_li"].ipc * 0.97
+
+
+def test_bench_ablation_monotonic_byte_tags(benchmark):
+    """§II-B1: 'a greater tag never replaces a lesser' lets entries converge
+    on the earliest entry point's layout; the always-overwrite ablation must
+    never do better on a workload with multiple block entry points."""
+
+    def run():
+        trace = get_trace("gcc", LONG_UOPS)   # branchy: many entry points
+        out = {}
+        for label, mono in (("monotonic", True), ("overwrite", False)):
+            config = BlockDVTAGEConfig(monotonic_byte_tags=mono)
+            engine = BeBoPEngine(BlockDVTAGE(config), SpeculativeWindow(32))
+            out[label] = PipelineModel(eole_4_60(), engine).run(
+                trace, warmup_uops=LONG_WARMUP
+            )
+        return out
+
+    stats = run_once(benchmark, run)
+    print()
+    for label, s in stats.items():
+        print(f"  {label:12s} IPC={s.ipc:.3f} cov={s.vp_coverage:.1%} "
+              f"acc={s.vp_accuracy:.4%}")
+    assert stats["monotonic"].vp_coverage >= stats["overwrite"].vp_coverage - 0.02
+    if stats["monotonic"].vp_used > 100:
+        assert stats["monotonic"].vp_accuracy > 0.99

@@ -1,0 +1,37 @@
+"""Table I: construction and sanity of the simulated core configurations."""
+
+from conftest import run_once
+
+from repro.pipeline import BASELINE_6_60, baseline_vp_6_60, eole_4_60
+from repro.pipeline.caches import MemoryHierarchy
+from repro.branch import TAGEBranchPredictor
+
+
+def test_bench_table1_construction(benchmark):
+    """Building every Table I structure (caches, TAGE, configs)."""
+
+    def build():
+        configs = (BASELINE_6_60, baseline_vp_6_60(), eole_4_60())
+        mem = MemoryHierarchy()
+        tage = TAGEBranchPredictor()
+        return configs, mem, tage
+
+    (configs, mem, tage) = run_once(benchmark, build)
+
+    base, vp, eole = configs
+    # Table I parameters.
+    assert base.rob_size == 192 and base.iq_size == 60
+    assert base.lq_size == 72 and base.sq_size == 48
+    assert base.issue_width == 6 and base.commit_width == 8
+    assert base.fetch_blocks_per_cycle == 2 and base.fetch_block_bytes == 16
+    assert not base.vp_enabled
+    assert vp.vp_enabled and vp.issue_width == 6
+    assert eole.vp_enabled and eole.eole and eole.issue_width == 4
+    # Cache geometry.
+    assert mem.l1i.size_bytes == 32 * 1024 and mem.l1i.ways == 8
+    assert mem.l1d.latency == 4
+    assert mem.l2.size_bytes == 1024 * 1024 and mem.l2.latency == 12
+    assert mem.dram_min_latency == 75 and mem.dram_max_latency == 185
+    # TAGE: 1 + 12 components, ~32KB.
+    assert tage.components == 12
+    assert 10 < tage.storage_bits() / 8 / 1000 < 64

@@ -1,0 +1,39 @@
+"""Fig 5a: instruction-based value predictors over Baseline_6_60.
+
+Paper shape: no slowdown with D-VTAGE; D-VTAGE generally on par with or
+better than the naive VTAGE-2d-Stride hybrid; VTAGE alone cannot capture
+strided FP codes; the unpredictable floor (gobmk) is flat for everyone.
+"""
+
+from conftest import run_once
+
+from repro.eval import experiments, reporting
+from repro.eval.experiments import FIG5A_PREDICTORS, aggregate
+
+
+def test_bench_fig5a(benchmark, bench_spec):
+    results = run_once(benchmark, experiments.fig5a, bench_spec)
+    print()
+    print(
+        reporting.render_per_workload(
+            "Fig 5a — speedup over Baseline_6_60",
+            results,
+            list(FIG5A_PREDICTORS),
+        )
+    )
+
+    dvtage = {w: r["d-vtage"] for w, r in results.items()}
+    vtage = {w: r["vtage"] for w, r in results.items()}
+    stride = {w: r["2d-stride"] for w, r in results.items()}
+
+    # No slowdown with D-VTAGE (paper §VI-A).
+    for name, s in dvtage.items():
+        assert s > 0.95, name
+    # D-VTAGE at least matches the stride and context predictors on average.
+    assert aggregate(dvtage)["gmean"] >= aggregate(vtage)["gmean"] - 0.01
+    assert aggregate(dvtage)["gmean"] >= aggregate(stride)["gmean"] - 0.01
+    # Strided FP is stride-territory: VTAGE alone must trail there.
+    assert dvtage["swim"] > 1.15
+    assert vtage["swim"] < stride["swim"]
+    # Unpredictable floor is flat.
+    assert abs(dvtage["gobmk"] - 1.0) < 0.08

@@ -1,0 +1,24 @@
+"""Fig 5b: EOLE_4_60 (w/ D-VTAGE) over Baseline_VP_6_60.
+
+Paper shape: very little slowdown from scaling issue width 6 -> 4 when
+Early/Late Execution offload the OoO engine (worst case 0.982 in the paper).
+"""
+
+from conftest import run_once
+
+from repro.eval import experiments
+from repro.eval.experiments import aggregate
+
+
+def test_bench_fig5b(benchmark, bench_spec):
+    results = run_once(benchmark, experiments.fig5b, bench_spec)
+    print()
+    print("Fig 5b — EOLE_4_60 over Baseline_VP_6_60")
+    for name, ratio in results.items():
+        print(f"  {name:12s} {ratio:6.3f}")
+    agg = aggregate(results)
+    print(f"  gmean {agg['gmean']:.3f}  min {agg['min']:.3f}  max {agg['max']:.3f}")
+
+    # Narrowing the issue width with EOLE costs little on average.
+    assert agg["gmean"] > 0.95
+    assert agg["min"] > 0.8

@@ -1,0 +1,25 @@
+"""Fig 6b: base-predictor size vs tagged-component size at Npred = 6.
+
+Paper shape: shrinking the tagged components from 256 to 128 entries hurts
+more than shrinking the base predictor.
+"""
+
+from conftest import run_once
+
+from repro.eval import experiments, reporting
+from repro.eval.experiments import aggregate
+
+
+def test_bench_fig6b(benchmark, sweep_spec):
+    results = run_once(benchmark, experiments.fig6b, sweep_spec)
+    print()
+    print(reporting.render_box_summary(
+        "Fig 6b — base/tagged size sweep (speedup over EOLE_4_60)", results))
+
+    gmeans = {label: aggregate(row)["gmean"] for label, row in results.items()}
+    assert len(gmeans) == 6
+    # Scale-honest checks (see test_bench_fig6a / EXPERIMENTS.md): every
+    # geometry works and the best comes close to the idealistic reference.
+    for label, g in gmeans.items():
+        assert 0.5 < g <= 1.1, label
+    assert max(gmeans.values()) > 0.9

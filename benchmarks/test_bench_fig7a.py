@@ -1,0 +1,25 @@
+"""Fig 7a: speculative-window recovery policies (infinite window).
+
+Paper shape: the realistic policies (Repred / DnRDnR / DnRR) behave nearly
+equivalently on average.
+"""
+
+from conftest import run_once
+
+from repro.eval import experiments, reporting
+from repro.eval.experiments import aggregate
+
+
+def test_bench_fig7a(benchmark, sweep_spec):
+    results = run_once(benchmark, experiments.fig7a, sweep_spec)
+    print()
+    print(reporting.render_box_summary(
+        "Fig 7a — recovery policies (speedup over EOLE_4_60)", results))
+
+    gmeans = {label: aggregate(row)["gmean"] for label, row in results.items()}
+    assert set(gmeans) == {"ideal", "repred", "dnrdnr", "dnrr"}
+    realistic = [gmeans["repred"], gmeans["dnrdnr"], gmeans["dnrr"]]
+    # Realistic policies are within a few percent of one another.
+    assert max(realistic) - min(realistic) < 0.05
+    for label, g in gmeans.items():
+        assert 0.7 < g <= 1.1, label

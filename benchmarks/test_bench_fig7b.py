@@ -1,0 +1,26 @@
+"""Fig 7b: speculative-window size sweep (DnRDnR policy).
+
+Paper shape: without the window ("None"), loops whose iterations overlap in
+flight lose their speedup; a few tens of entries recover essentially the
+infinite-window performance (32 entries is the paper's tradeoff).
+"""
+
+from conftest import run_once
+
+from repro.eval import experiments, reporting
+from repro.eval.experiments import aggregate
+
+
+def test_bench_fig7b(benchmark, sweep_spec):
+    results = run_once(benchmark, experiments.fig7b, sweep_spec)
+    print()
+    print(reporting.render_box_summary(
+        "Fig 7b — window size sweep (speedup over EOLE_4_60)", results))
+
+    gmeans = {label: aggregate(row)["gmean"] for label, row in results.items()}
+    # None is the worst configuration.
+    assert gmeans["none"] <= min(gmeans["inf"], gmeans["32"], gmeans["56"]) + 0.01
+    # 32 entries ~ infinite (the paper's tradeoff point).
+    assert gmeans["32"] > gmeans["inf"] - 0.03
+    # 56 entries ~ infinite.
+    assert gmeans["56"] > gmeans["inf"] - 0.03

@@ -1,0 +1,37 @@
+"""Fig 8: the final D-VTAGE+BeBoP configurations over Baseline_6_60.
+
+Paper shape: Medium (~32.8KB) preserves most of the idealistic EOLE_4_60
+speedup; Large >= Medium >= Small; average speedup remains clearly positive
+at the ~32KB budget (paper: 11.2% gmean on their suite).
+"""
+
+from conftest import run_once
+
+from repro.eval import experiments, reporting
+from repro.eval.experiments import aggregate
+
+
+def test_bench_fig8(benchmark, fig8_spec):
+    results = run_once(benchmark, experiments.fig8, fig8_spec)
+    print()
+    print(
+        reporting.render_per_workload(
+            "Fig 8 — speedup over Baseline_6_60",
+            {w: {c: results[c][w] for c in results} for w in fig8_spec.names()},
+            ["Baseline_VP_6_60", "EOLE_4_60", "Small_4p", "Small_6p",
+             "Medium", "Large"],
+        )
+    )
+
+    gmeans = {label: aggregate(row)["gmean"] for label, row in results.items()}
+    # The practical configs deliver a clear average speedup.
+    assert gmeans["Medium"] > 1.03
+    assert gmeans["Large"] > 1.03
+    # Medium keeps a meaningful share of the idealistic speedup (the paper
+    # keeps 1.112 of 1.154; block-chain convergence is slower at our trace
+    # lengths, so the retained share is smaller but must stay substantial).
+    assert gmeans["Medium"] > 1.0 + 0.2 * (gmeans["EOLE_4_60"] - 1.0)
+    # More storage never hurts much: Large within noise of or above Medium.
+    assert gmeans["Large"] >= gmeans["Medium"] - 0.03
+    # Small configs trail Medium but still speed up on average.
+    assert gmeans["Small_6p"] > 1.0

@@ -1,0 +1,28 @@
+"""§VI-B(a): partial strides — performance vs storage.
+
+Paper shape: performance is almost entirely conserved from 64-bit down to
+8-bit strides (gmean 0.991 -> 0.985 in the paper) while storage drops from
+~290KB to ~138KB.
+"""
+
+from conftest import run_once
+
+from repro.eval import experiments, reporting
+
+
+def test_bench_partial_strides(benchmark, sweep_spec):
+    results = run_once(benchmark, experiments.partial_strides, sweep_spec)
+    print()
+    print(reporting.render_partial_strides(results))
+
+    # Storage shrinks as published (±1.5KB of the paper's 290/203/160/138).
+    paper_kb = {64: 290, 32: 203, 16: 160, 8: 138}
+    for bits, row in results.items():
+        assert abs(row["storage_kb"] - paper_kb[bits]) < 1.5
+
+    # Performance nearly conserved: 8-bit within a few % of 64-bit gmean.
+    g64 = results[64]["aggregate"]["gmean"]
+    g8 = results[8]["aggregate"]["gmean"]
+    assert g8 > g64 - 0.06
+    # And stride width is monotone-ish: 16/32-bit sit close to 64-bit too.
+    assert results[16]["aggregate"]["gmean"] > g64 - 0.06

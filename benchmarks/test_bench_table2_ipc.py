@@ -1,0 +1,19 @@
+"""Table II: baseline IPC of the workload suite (ours vs paper)."""
+
+from conftest import run_once
+
+from repro.eval import experiments, reporting
+
+
+def test_bench_table2_ipc(benchmark, bench_spec):
+    results = run_once(benchmark, experiments.table2_ipc, bench_spec)
+    print()
+    print(reporting.render_table2(results))
+
+    # Shape assertions: workload classes keep their relative IPC character.
+    assert results["mcf"]["ipc"] < 0.5                 # memory bound
+    assert results["swim"]["ipc"] > results["mcf"]["ipc"]
+    assert results["gobmk"]["ipc"] < 1.5               # branch hostile
+    for name, row in results.items():
+        assert row["ipc"] > 0, name
+        assert row["paper_ipc"] > 0, name

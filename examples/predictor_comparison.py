@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Compare every value predictor on canonical value streams.
+
+Reproduces, in miniature, the motivation of the paper's §III: each predictor
+family captures a different class of value patterns, and D-VTAGE is the
+tightly coupled hybrid that captures all the useful ones.
+
+Run:  python examples/predictor_comparison.py
+"""
+
+from repro.common.bits import to_unsigned
+from repro.common.rng import XorShift64
+from repro.predictors import (
+    DFCMPredictor,
+    DVTAGEPredictor,
+    FCMPredictor,
+    HistoryState,
+    LastValuePredictor,
+    PerPathStridePredictor,
+    StridePredictor,
+    TwoDeltaStridePredictor,
+    VTAGE2DStrideHybrid,
+    VTAGEPredictor,
+)
+
+N = 6000
+PC = 0x40_0010
+
+
+def constant_stream():
+    return [42] * N, None
+
+
+def strided_stream():
+    return [to_unsigned(100 + 24 * i, 64) for i in range(N)], None
+
+
+def history_correlated_stream():
+    """Value decided by the last branch outcome (period-3 pattern)."""
+    hist_bits, values, hists = 0, [], []
+    for i in range(N):
+        taken = i % 3 == 0
+        hist_bits = ((hist_bits << 1) | taken) & ((1 << 64) - 1)
+        hists.append(HistoryState(hist_bits, 0))
+        values.append(1111 if taken else 2222)
+    return values, hists
+
+
+def history_strided_stream():
+    """Stride selected by branch history: D-VTAGE's home turf (§III-C)."""
+    hist_bits, values, hists, v = 0, [], [], 0
+    for i in range(N):
+        taken = i % 2 == 0
+        hist_bits = ((hist_bits << 1) | taken) & ((1 << 64) - 1)
+        hists.append(HistoryState(hist_bits, 0))
+        v = to_unsigned(v + (5 if taken else 11), 64)
+        values.append(v)
+    return values, hists
+
+
+def local_periodic_stream():
+    """A period-4 repeating sequence: FCM (local value history) territory."""
+    return [(7, 19, 3, 100)[i % 4] for i in range(N)], None
+
+
+def random_stream():
+    rng = XorShift64(9)
+    return [rng.next_u64() for _ in range(N)], None
+
+
+STREAMS = {
+    "constant": constant_stream,
+    "strided": strided_stream,
+    "hist-correlated": history_correlated_stream,
+    "hist-strided": history_strided_stream,
+    "local-periodic": local_periodic_stream,
+    "random": random_stream,
+}
+
+PREDICTORS = {
+    "LVP": LastValuePredictor,
+    "Stride": StridePredictor,
+    "2d-Stride": TwoDeltaStridePredictor,
+    "FCM": FCMPredictor,
+    "D-FCM": DFCMPredictor,
+    "VTAGE": VTAGEPredictor,
+    "PS": PerPathStridePredictor,
+    "VTAGE+2dS": VTAGE2DStrideHybrid,
+    "D-VTAGE": DVTAGEPredictor,
+}
+
+
+def coverage(predictor, values, hists) -> float:
+    used = correct = 0
+    for i, value in enumerate(values):
+        hist = hists[i] if hists else HistoryState()
+        p = predictor.predict(PC, 0, hist)
+        if p is not None and p.confident:
+            used += 1
+            correct += p.value == value
+        predictor.train(PC, 0, hist, value, p)
+    if used and correct / used < 0.98:
+        return -1.0  # flag an inaccurate predictor (should not happen)
+    return used / len(values)
+
+
+def main() -> None:
+    streams = {name: fn() for name, fn in STREAMS.items()}
+    header = f"{'predictor':>10s}" + "".join(f"{s:>16s}" for s in streams)
+    print(header)
+    print("-" * len(header))
+    for pname, factory in PREDICTORS.items():
+        row = f"{pname:>10s}"
+        for sname, (values, hists) in streams.items():
+            cov = coverage(factory(), values, hists)
+            row += f"{cov:16.1%}"
+        print(row)
+    print()
+    print("Coverage = fraction of the stream predicted with confidence")
+    print("(all shown predictors are >98% accurate when confident).")
+    print("Note how D-VTAGE covers every predictable class — the paper's")
+    print("argument for the tightly coupled hybrid (§III).")
+
+
+if __name__ == "__main__":
+    main()

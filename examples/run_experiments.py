@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper at full scale.
+
+Runs the complete 36-workload suite through every experiment of Section VI
+and writes a text report (the source of EXPERIMENTS.md's measured numbers).
+This is the long-running driver: expect tens of minutes at the default
+scale.  Use --quick for a reduced sanity run.
+
+Run:  python examples/run_experiments.py [--quick] [--out report.txt]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.eval import experiments, reporting
+from repro.eval.experiments import (
+    FIG5A_PREDICTORS,
+    aggregate,
+)
+from repro.eval.runner import RunSpec
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced scale: 8 workloads, shorter traces")
+    parser.add_argument("--out", default=None, help="also write report here")
+    parser.add_argument("--skip", nargs="*", default=[],
+                        help="experiment ids to skip (e.g. fig6a fig6b)")
+    args = parser.parse_args()
+
+    if args.quick:
+        spec = RunSpec(
+            uops=60_000,
+            warmup=20_000,
+            workloads=("swim", "wupwise", "bzip2", "gcc",
+                       "mcf", "gobmk", "vortex", "libquantum"),
+        )
+    else:
+        spec = RunSpec()
+
+    sections: list[str] = []
+
+    def section(name, fn):
+        if name in args.skip:
+            print(f"[skip] {name}")
+            return
+        t0 = time.time()
+        print(f"[run ] {name} ...", flush=True)
+        sections.append(fn())
+        print(f"[done] {name} in {time.time() - t0:.0f}s", flush=True)
+
+    section("table2", lambda: reporting.render_table2(
+        experiments.table2_ipc(spec)))
+    section("table3", lambda: reporting.render_table3(
+        experiments.table3_storage()))
+    section("fig5a", lambda: reporting.render_per_workload(
+        "Fig 5a — predictors over Baseline_6_60",
+        experiments.fig5a(spec), list(FIG5A_PREDICTORS)))
+
+    def fig5b_text():
+        r = experiments.fig5b(spec)
+        agg = aggregate(r)
+        lines = ["Fig 5b — EOLE_4_60 over Baseline_VP_6_60", ""]
+        lines += [f"  {n:12s} {v:6.3f}" for n, v in r.items()]
+        lines.append(f"  gmean {agg['gmean']:.3f} min {agg['min']:.3f} "
+                     f"max {agg['max']:.3f}")
+        return "\n".join(lines)
+
+    section("fig5b", fig5b_text)
+    section("fig6a", lambda: reporting.render_box_summary(
+        "Fig 6a — Npred / size sweep (over EOLE_4_60)",
+        experiments.fig6a(spec)))
+    section("fig6b", lambda: reporting.render_box_summary(
+        "Fig 6b — base/tagged size sweep (over EOLE_4_60)",
+        experiments.fig6b(spec)))
+    section("partial_strides", lambda: reporting.render_partial_strides(
+        experiments.partial_strides(spec)))
+    section("fig7a", lambda: reporting.render_box_summary(
+        "Fig 7a — recovery policies (over EOLE_4_60)",
+        experiments.fig7a(spec)))
+    section("fig7b", lambda: reporting.render_box_summary(
+        "Fig 7b — window sizes (over EOLE_4_60)",
+        experiments.fig7b(spec)))
+
+    def fig8_text():
+        r = experiments.fig8(spec)
+        order = ["Baseline_VP_6_60", "EOLE_4_60", "Small_4p", "Small_6p",
+                 "Medium", "Large"]
+        per_workload = {
+            w: {c: r[c][w] for c in order} for w in spec.names()
+        }
+        return reporting.render_per_workload(
+            "Fig 8 — final configurations over Baseline_6_60",
+            per_workload, order)
+
+    section("fig8", fig8_text)
+
+    report = ("\n\n" + "=" * 78 + "\n\n").join(sections)
+    print()
+    print(report)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(report + "\n")
+        print(f"\nreport written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Explore the speculative window: sizes and recovery policies.
+
+Regenerates Fig 7a/7b in miniature on one spec-window-sensitive workload:
+sweeping the window capacity shows why stride-based block prediction needs
+speculative last values at all, and the four §IV-A recovery policies show
+how flushes interact with the window.
+
+Run:  python examples/spec_window_policies.py [workload]
+"""
+
+import sys
+
+from repro.bebop import RecoveryPolicy
+from repro.eval import get_trace, make_bebop_engine, run_baseline, run_bebop_eole
+
+UOPS = 120_000
+WARMUP = 50_000
+
+
+def sweep_sizes(workload: str) -> None:
+    trace = get_trace(workload, UOPS)
+    base = run_baseline(trace, WARMUP)
+    print(f"\n--- window size sweep (policy DnRDnR), workload {workload} ---")
+    print(f"{'window':>8s} {'IPC':>7s} {'speedup':>9s} {'coverage':>9s} "
+          f"{'accuracy':>9s}")
+    for size in (None, 64, 56, 48, 32, 16, 8, 0):
+        engine = make_bebop_engine(window=size)
+        stats = run_bebop_eole(trace, engine, WARMUP)
+        label = "inf" if size is None else ("none" if size == 0 else str(size))
+        print(f"{label:>8s} {stats.ipc:7.3f} {stats.ipc / base.ipc:8.2f}x "
+              f"{stats.vp_coverage:9.1%} {stats.vp_accuracy:9.2%}")
+    print("Without the window ('none'), the last values of in-flight loop")
+    print("iterations are unavailable and coverage collapses (Fig 7b).")
+
+
+def sweep_policies(workload: str) -> None:
+    trace = get_trace(workload, UOPS)
+    base = run_baseline(trace, WARMUP)
+    print(f"\n--- recovery policy sweep (infinite window), workload {workload} ---")
+    print(f"{'policy':>8s} {'IPC':>7s} {'speedup':>9s} {'coverage':>9s} "
+          f"{'squashes':>9s}")
+    for policy in RecoveryPolicy:
+        engine = make_bebop_engine(window=None, policy=policy)
+        stats = run_bebop_eole(trace, engine, WARMUP)
+        print(f"{policy.value:>8s} {stats.ipc:7.3f} "
+              f"{stats.ipc / base.ipc:8.2f}x {stats.vp_coverage:9.1%} "
+              f"{stats.vp_squashes:9d}")
+    print("The realistic policies behave near-equivalently (Fig 7a); the")
+    print("paper picks DnRDnR because it needs the fewest predictor accesses.")
+
+
+if __name__ == "__main__":
+    workload = sys.argv[1] if len(sys.argv) > 1 else "bzip2"
+    sweep_sizes(workload)
+    sweep_policies(workload)

@@ -1,0 +1,45 @@
+"""Reproduction of *BeBoP: A Cost Effective Predictor Infrastructure for
+Superscalar Value Prediction* (Perais & Seznec, HPCA 2015).
+
+The package implements the paper's three contributions and every substrate
+they are evaluated on:
+
+* **Block-based value prediction (BeBoP)** — :mod:`repro.bebop`: predictor
+  entries per 16-byte fetch block with byte-index-tag attribution;
+* **D-VTAGE** — :mod:`repro.predictors.dvtage` (instruction-based) and
+  :class:`repro.bebop.BlockDVTAGE` (block-based): the tightly coupled
+  VTAGE x stride hybrid with partial strides;
+* **Block-based speculative window** — :class:`repro.bebop.SpeculativeWindow`
+  with the DnRR / DnRDnR / Repred / Ideal recovery policies;
+
+plus the substrates: a synthetic variable-length ISA (:mod:`repro.isa`),
+36 SPEC-like workloads (:mod:`repro.workloads`), a TAGE branch predictor
+(:mod:`repro.branch`), comparison value predictors — LVP, stride, 2-delta,
+FCM, D-FCM, VTAGE, VTAGE+2d-stride — (:mod:`repro.predictors`), a
+trace-driven superscalar/EOLE timing model (:mod:`repro.pipeline`), the
+Table III storage model (:mod:`repro.storage`) and the per-figure experiment
+harness (:mod:`repro.eval`).
+
+Quickstart::
+
+    from repro.eval import get_trace, make_instr_predictor, run_baseline, run_instr_vp
+
+    trace = get_trace("swim", uops=60_000)
+    base = run_baseline(trace, warmup=20_000)
+    vp = run_instr_vp(trace, make_instr_predictor("d-vtage"), warmup=20_000)
+    print(f"speedup: {vp.ipc / base.ipc:.2f}x at {vp.vp_accuracy:.2%} accuracy")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "bebop",
+    "branch",
+    "common",
+    "eval",
+    "isa",
+    "pipeline",
+    "predictors",
+    "storage",
+    "workloads",
+]

@@ -1,0 +1,35 @@
+"""BeBoP: Block-Based value Prediction (paper §II and §IV).
+
+Instead of one predictor entry per instruction, BeBoP keys the predictor on
+the 16-byte *fetch block* PC; each entry holds ``Npred`` predictions that
+are attributed to the block's result-producing µ-ops after decode by
+matching instruction-boundary byte indexes against small per-prediction tags
+(:mod:`repro.bebop.attribution`).  This reduces predictor ports to those of
+a block-based branch predictor and makes a realistic *speculative window*
+possible (:mod:`repro.bebop.spec_window`): a small chronologically ordered
+associative buffer holding the predicted values of in-flight block
+instances, which stride-based prediction needs when several instances of a
+loop body are in flight.
+
+:class:`~repro.bebop.predictor.BlockDVTAGE` is the block-based D-VTAGE;
+:class:`~repro.bebop.engine.BeBoPEngine` glues predictor + speculative
+window + FIFO update queue + recovery policy behind the pipeline-facing
+adapter protocol.
+"""
+
+from repro.bebop.attribution import attribute_predictions
+from repro.bebop.recovery import RecoveryPolicy
+from repro.bebop.spec_window import SpeculativeWindow
+from repro.bebop.update_queue import FifoUpdateQueue
+from repro.bebop.predictor import BlockDVTAGE, BlockDVTAGEConfig
+from repro.bebop.engine import BeBoPEngine
+
+__all__ = [
+    "attribute_predictions",
+    "RecoveryPolicy",
+    "SpeculativeWindow",
+    "FifoUpdateQueue",
+    "BlockDVTAGE",
+    "BlockDVTAGEConfig",
+    "BeBoPEngine",
+]

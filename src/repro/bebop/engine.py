@@ -1,0 +1,232 @@
+"""The BeBoP engine: predictor + speculative window + FIFO update queue.
+
+Implements the pipeline-facing :class:`~repro.pipeline.vp.VPAdapter`
+protocol at the fetch-block granularity:
+
+* ``fetch_group`` reads the block-based D-VTAGE, substitutes speculative
+  last values from the window when a more recent instance of the block is
+  in flight, composes the ``Npred`` predictions, pushes the block to the
+  window and the FIFO update queue, and attributes predictions to the
+  group's µ-ops by byte-index tags;
+* ``commit_uop``/``finish_group`` accumulate retired results and schedule
+  the predictor update one cycle after the block retires (§V-B);
+* ``vp_squash``/``branch_squash`` roll both structures back by sequence
+  number and arm the §IV-A recovery policy for the Bnew == Bflush refetch.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from repro.isa.instruction import DynMicroOp
+from repro.predictors.base import HistoryState
+from repro.bebop.attribution import attribute_predictions
+from repro.bebop.predictor import BlockDVTAGE, BlockReadout
+from repro.bebop.recovery import RecoveryPolicy
+from repro.bebop.spec_window import SpeculativeWindow
+from repro.bebop.update_queue import FifoUpdateQueue, PendingBlock
+from repro.pipeline.vp import GroupHandle, PredUse
+
+
+class BeBoPEngine:
+    """Block-based value prediction infrastructure (adapter protocol)."""
+
+    def __init__(
+        self,
+        predictor: BlockDVTAGE,
+        window: SpeculativeWindow | None = None,
+        policy: RecoveryPolicy = RecoveryPolicy.DNRDNR,
+    ) -> None:
+        self.predictor = predictor
+        self.window = window if window is not None else SpeculativeWindow(32)
+        self.fifo = FifoUpdateQueue()
+        self.policy = policy
+        # (apply_cycle, pending) in commit order.
+        self._deferred: deque[tuple[int, PendingBlock]] = deque()
+        # Writeback fixups: (cycle, tiebreak, pending, slot, value) heap —
+        # results patch the window entry as they compute (§I "last
+        # computed/predicted values").
+        self._result_fixups: list[tuple[int, int, PendingBlock, int, int]] = []
+        self._fixup_counter = 0
+        self.spec_window_hits = 0
+        self.spec_window_uses = 0
+        self.cold_blocks = 0
+
+    # -- training application -------------------------------------------------
+
+    def _apply_until(self, cycle: int) -> None:
+        fixups = self._result_fixups
+        while fixups and fixups[0][0] <= cycle:
+            _, _, pending, slot, value = heapq.heappop(fixups)
+            self.window.correct_entry(pending.block_pc, pending.seq, {slot: value})
+        q = self._deferred
+        while q and q[0][0] <= cycle:
+            _, pending = q.popleft()
+            self.predictor.update(pending.readout, pending.retired)
+            # Retire-time invalidation: the LVT now holds this instance's
+            # architectural values, so the window entry (predicted values)
+            # must stop shadowing it — see SpeculativeWindow.retire.
+            self.window.retire(pending.block_pc, pending.seq)
+
+    def flush_training(self) -> None:
+        """Apply every deferred update (end of simulation)."""
+        self._apply_until(1 << 62)
+
+    # -- fetch ------------------------------------------------------------------
+
+    def _predict_block(
+        self,
+        uops: list[DynMicroOp],
+        cycle: int,
+        hist: HistoryState,
+        mask_use: bool,
+    ) -> GroupHandle:
+        block_pc = uops[0].block_pc
+        first_seq = uops[0].seq
+        readout = self.predictor.read(block_pc, hist)
+        spec_values = self.window.lookup(block_pc)
+        if spec_values is not None:
+            self.spec_window_uses += 1
+            last_values = spec_values
+            usable = True
+        elif readout.lvt_hit:
+            last_values = readout.lvt_last
+            usable = True
+        else:
+            last_values = readout.lvt_last  # zeros; entry is cold
+            usable = False
+            self.cold_blocks += 1
+        values = self.predictor.compose(readout, last_values)
+        self.window.insert(block_pc, first_seq, values)
+        pending = PendingBlock(first_seq, block_pc, hist, readout, values)
+        pending.use_masked = mask_use
+        self.fifo.push(pending)
+        preds = self._attribute(uops, readout, values, usable and not mask_use)
+        return GroupHandle(preds, hist, ctx=pending)
+
+    def _attribute(
+        self,
+        uops: list[DynMicroOp],
+        readout: BlockReadout,
+        values: list[int],
+        usable: bool,
+    ) -> list[PredUse | None]:
+        eligible = [
+            (pos, uop) for pos, uop in enumerate(uops) if uop.is_vp_eligible
+        ]
+        slots = attribute_predictions(
+            readout.byte_tags, [uop.boundary for _pos, uop in eligible]
+        )
+        preds: list[PredUse | None] = [None] * len(uops)
+        for (pos, _uop), slot in zip(eligible, slots):
+            if slot is None:
+                continue
+            confident = usable and self.predictor.is_confident(readout, slot)
+            preds[pos] = PredUse(values[slot], confident, slot=slot)
+        return preds
+
+    def fetch_group(
+        self,
+        uops: list[DynMicroOp],
+        cycle: int,
+        hist: HistoryState,
+        reuse: GroupHandle | None = None,
+    ) -> GroupHandle:
+        self._apply_until(cycle)
+        if reuse is None or self.policy.repredicts:
+            # Normal fetch, or a policy that generates a new prediction
+            # block for the refetched instructions (Ideal / Repred).
+            return self._predict_block(uops, cycle, hist, mask_use=False)
+        # DnRR / DnRDnR: reuse the flushed block's prediction block.  The
+        # kept pending block keeps accumulating the refetched µ-ops' results.
+        pending: PendingBlock = reuse.ctx  # type: ignore[assignment]
+        mask_use = not self.policy.reuses_predictions
+        if mask_use:
+            pending.use_masked = True
+        usable = not mask_use
+        preds = self._attribute(uops, pending.readout, pending.values, usable)
+        return GroupHandle(preds, hist, ctx=pending)
+
+    # -- commit -------------------------------------------------------------------
+
+    def result_uop(
+        self, handle: GroupHandle, pos: int, uop: DynMicroOp, complete_cycle: int
+    ) -> None:
+        """A µ-op's result computed: patch its slot in the window entry."""
+        pred = handle.preds[pos]
+        if pred is None or pred.slot < 0 or uop.value is None:
+            return
+        pending: PendingBlock = handle.ctx  # type: ignore[assignment]
+        self._fixup_counter += 1
+        heapq.heappush(
+            self._result_fixups,
+            (complete_cycle + 1, self._fixup_counter, pending, pred.slot, uop.value),
+        )
+
+    def commit_uop(
+        self, handle: GroupHandle, pos: int, uop: DynMicroOp, cycle: int
+    ) -> None:
+        if not uop.is_vp_eligible or uop.value is None:
+            return
+        pending: PendingBlock = handle.ctx  # type: ignore[assignment]
+        pending.retired.append((uop.boundary, uop.value))
+
+    def finish_group(self, handle: GroupHandle, cycle: int) -> None:
+        """The block instance fully retired: pop it from the FIFO and apply
+        the update one cycle later (§V-B: 'updated in the cycle following
+        retirement')."""
+        pending: PendingBlock = handle.ctx  # type: ignore[assignment]
+        self.fifo.remove(pending)  # may already be gone after a Repred squash
+        self._deferred.append((cycle + 1, pending))
+
+    # -- squash ---------------------------------------------------------------------
+
+    def vp_squash(
+        self,
+        handle: GroupHandle,
+        flush_seq: int,
+        next_block_pc: int | None,
+        cycle: int,
+    ) -> None:
+        pending: PendingBlock = handle.ctx  # type: ignore[assignment]
+        same_block = next_block_pc is not None and next_block_pc == pending.block_pc
+        drop_head = same_block and self.policy.squashes_head
+        self.window.squash(pending.seq, drop_equal=drop_head)
+        self.fifo.squash(pending.seq, drop_equal=drop_head)
+        if same_block and self.policy is RecoveryPolicy.IDEAL:
+            # Ideal keeps the predictions older than the flush point and
+            # tracks them at instruction granularity: the flushed instance
+            # trains with what it retired before the flush, and the refetch
+            # will get a brand-new prediction block.  Instruction-granular
+            # consistency also means the kept window entry reflects the
+            # architectural values of everything retired so far.
+            self.fifo.remove(pending)
+            self._deferred.append((cycle + 1, pending))
+            readout: BlockReadout = pending.readout
+            slots = attribute_predictions(
+                readout.byte_tags, [b for b, _ in pending.retired]
+            )
+            fixups = {
+                slot: value
+                for slot, (_b, value) in zip(slots, pending.retired)
+                if slot is not None
+            }
+            if fixups:
+                self.window.correct_entry(pending.block_pc, pending.seq, fixups)
+
+    def branch_squash(self, flush_seq: int, cycle: int) -> None:
+        self.window.squash(flush_seq)
+        self.fifo.squash(flush_seq)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def storage_bits(self) -> int:
+        """Predictor + speculative window storage (Table III)."""
+        bits = self.predictor.storage_bits()
+        if self.window.capacity:
+            bits += self.window.storage_bits(self.predictor.config.npred)
+        return bits
+
+    def storage_kb(self) -> float:
+        return self.storage_bits() / 8 / 1000

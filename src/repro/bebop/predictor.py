@@ -1,0 +1,390 @@
+"""Block-based D-VTAGE (papers §II-§III combined).
+
+The predictor is keyed on the fetch-block PC.  Per block entry it holds
+``npred`` prediction slots:
+
+* the **LVT** (direct-mapped, 5-bit block tags) stores ``npred`` retired
+  last values and the per-slot byte-index tags used for attribution;
+* **VT0** (the base stride component) stores ``npred`` strides with their
+  FPC confidence;
+* six partially tagged components store ``npred`` strides + FPC per slot,
+  a 13..18-bit block tag and one per-block usefulness bit, indexed VTAGE
+  style by block PC and folded global branch/path history.
+
+``read`` performs the fetch-time table reads and provider selection;
+composing predictions (last value + stride per slot) is left to the caller
+because the last values may come from the speculative window rather than the
+LVT.  ``update`` implements the block-based training of §III-D-b: byte tags
+evolve under the monotonic rule, the provider's per-slot strides/confidence
+train on the retired results, and on any wrong slot a new tagged entry is
+allocated with the provider's confidence counters *propagated* so the
+correct slots of the block keep their coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.bits import mask, to_signed, to_unsigned
+from repro.common.rng import XorShift64
+from repro.predictors.base import (
+    HistoryState,
+    table_index,
+    tagged_index,
+    tagged_tag,
+)
+from repro.predictors.confidence import FPCPolicy
+from repro.predictors.vtage import geometric_history_lengths
+from repro.bebop.attribution import FREE_TAG, update_tag_assignment
+
+
+@dataclass(frozen=True)
+class BlockDVTAGEConfig:
+    """Geometry of a block-based D-VTAGE (Table III rows are instances)."""
+
+    npred: int = 6
+    base_entries: int = 2048        # LVT + VT0 entries
+    tagged_entries: int = 256       # per tagged component
+    components: int = 6
+    first_tag_bits: int = 13
+    lvt_tag_bits: int = 5
+    byte_tag_bits: int = 4          # log2(16-byte fetch block)
+    stride_bits: int = 64
+    min_history: int = 2
+    max_history: int = 64
+    useful_reset_period: int = 8192
+    propagate_confidence: bool = True
+    #: §II-B1's "greater tag never replaces a lesser" rule; False is the
+    #: always-overwrite ablation (DESIGN.md §7).
+    monotonic_byte_tags: bool = True
+
+    def __post_init__(self) -> None:
+        for n, what in ((self.base_entries, "base_entries"),
+                        (self.tagged_entries, "tagged_entries")):
+            if n <= 0 or n & (n - 1):
+                raise ValueError(f"{what} must be a power of two, got {n}")
+        if self.npred <= 0:
+            raise ValueError(f"npred must be positive, got {self.npred}")
+
+
+class _LVTEntry:
+    __slots__ = ("tag", "last", "byte_tags")
+
+    def __init__(self, npred: int) -> None:
+        self.tag = -1
+        self.last = [0] * npred
+        self.byte_tags = [FREE_TAG] * npred
+
+
+class _StrideEntry:
+    """VT0 or tagged-component entry: npred strides + FPC levels."""
+
+    __slots__ = ("tag", "strides", "conf", "useful")
+
+    def __init__(self, npred: int) -> None:
+        self.tag = -1
+        self.strides = [0] * npred
+        self.conf = [0] * npred
+        self.useful = 0
+
+
+class BlockReadout:
+    """Everything the fetch-time read produced, kept for update time."""
+
+    __slots__ = (
+        "block_pc",
+        "hist",
+        "lvt_index",
+        "lvt_tag",
+        "lvt_hit",
+        "lvt_last",
+        "byte_tags",
+        "provider",         # 0 = VT0, i+1 = tagged component i
+        "provider_index",
+        "provider_tag",
+        "strides",          # provider strides (raw stored form)
+        "conf",             # provider confidence levels at read time
+        "alt_strides",
+        "last_used",        # last values the adders consumed (may be spec)
+        "values",           # composed predictions, filled by compose()
+    )
+
+    def __init__(self) -> None:
+        self.values: list[int] = []
+        self.last_used: list[int] = []
+
+
+class BlockDVTAGE:
+    """The block-based Differential VTAGE predictor."""
+
+    def __init__(
+        self,
+        config: BlockDVTAGEConfig | None = None,
+        fpc: FPCPolicy | None = None,
+        seed: int = 0xBEB0,
+    ) -> None:
+        self.config = config if config is not None else BlockDVTAGEConfig()
+        c = self.config
+        self.fpc = fpc if fpc is not None else FPCPolicy()
+        self.base_index_bits = c.base_entries.bit_length() - 1
+        self.tagged_index_bits = c.tagged_entries.bit_length() - 1
+        self.tag_bits = tuple(c.first_tag_bits + i for i in range(c.components))
+        self.history_lengths = geometric_history_lengths(
+            c.components, c.min_history, c.max_history
+        )
+        self._lvt = [_LVTEntry(c.npred) for _ in range(c.base_entries)]
+        self._vt0 = [_StrideEntry(c.npred) for _ in range(c.base_entries)]
+        self._tagged = [
+            [_StrideEntry(c.npred) for _ in range(c.tagged_entries)]
+            for _ in range(c.components)
+        ]
+        self._rng = XorShift64(seed)
+        self._updates_since_reset = 0
+
+    # -- indexing ------------------------------------------------------------
+
+    @staticmethod
+    def _key(block_pc: int) -> int:
+        return block_pc >> 4
+
+    def _lvt_slot(self, key: int) -> tuple[_LVTEntry, int, int]:
+        index = table_index(key, self.base_index_bits)
+        tag = (key >> self.base_index_bits) & mask(self.config.lvt_tag_bits)
+        return self._lvt[index], index, tag
+
+    def _component_slot(
+        self, comp: int, key: int, hist: HistoryState
+    ) -> tuple[int, int]:
+        length = self.history_lengths[comp]
+        index = tagged_index(key, hist, length, self.tagged_index_bits)
+        tag = tagged_tag(key, hist, length, self.tag_bits[comp])
+        return index, tag
+
+    def _stride_value(self, stored: int) -> int:
+        return to_signed(stored, self.config.stride_bits)
+
+    def _truncate(self, stride: int) -> int:
+        return to_unsigned(to_signed(stride, self.config.stride_bits),
+                           self.config.stride_bits)
+
+    # -- fetch-time read -----------------------------------------------------
+
+    def read(self, block_pc: int, hist: HistoryState) -> BlockReadout:
+        """Read LVT and stride components for a fetch block."""
+        key = self._key(block_pc)
+        out = BlockReadout()
+        out.block_pc = block_pc
+        out.hist = hist
+        lvt, lvt_index, lvt_tag = self._lvt_slot(key)
+        out.lvt_index = lvt_index
+        out.lvt_tag = lvt_tag
+        out.lvt_hit = lvt.tag == lvt_tag
+        out.lvt_last = list(lvt.last) if out.lvt_hit else [0] * self.config.npred
+        out.byte_tags = (
+            list(lvt.byte_tags) if out.lvt_hit else [FREE_TAG] * self.config.npred
+        )
+        hits: list[tuple[int, int, int]] = []
+        for comp in range(self.config.components):
+            index, tag = self._component_slot(comp, key, hist)
+            if self._tagged[comp][index].tag == tag:
+                hits.append((comp, index, tag))
+        if hits:
+            comp, index, tag = hits[-1]
+            entry = self._tagged[comp][index]
+            out.provider = comp + 1
+            out.provider_index = index
+            out.provider_tag = tag
+            out.strides = list(entry.strides)
+            out.conf = list(entry.conf)
+            if len(hits) > 1:
+                alt_comp, alt_index, _ = hits[-2]
+                out.alt_strides = list(self._tagged[alt_comp][alt_index].strides)
+            else:
+                out.alt_strides = list(
+                    self._vt0[table_index(key, self.base_index_bits)].strides
+                )
+        else:
+            index = table_index(key, self.base_index_bits)
+            entry = self._vt0[index]
+            out.provider = 0
+            out.provider_index = index
+            out.provider_tag = 0
+            out.strides = list(entry.strides)
+            out.conf = list(entry.conf)
+            out.alt_strides = list(entry.strides)
+        return out
+
+    def compose(self, readout: BlockReadout, last_values: list[int]) -> list[int]:
+        """Predictions = last values (LVT or speculative window) + strides."""
+        readout.last_used = list(last_values)
+        readout.values = [
+            to_unsigned(last_values[m] + self._stride_value(readout.strides[m]), 64)
+            for m in range(self.config.npred)
+        ]
+        return readout.values
+
+    def is_confident(self, readout: BlockReadout, slot: int) -> bool:
+        return self.fpc.is_confident(readout.conf[slot])
+
+    # -- retire-time update ---------------------------------------------------
+
+    def update(
+        self,
+        readout: BlockReadout,
+        retired: list[tuple[int, int]],
+    ) -> dict[int, int]:
+        """Train the predictor with a retired block.
+
+        ``retired`` holds ``(boundary, actual_value)`` for every VP-eligible
+        result-producing µ-op of the block instance, in retire order.
+        Returns the per-slot actual values (slot -> value), which the engine
+        uses to correct the retired instance's speculative-window entry.
+        """
+        if not retired:
+            return {}
+        c = self.config
+        key = self._key(readout.block_pc)
+        lvt, _lvt_index, lvt_tag = self._lvt_slot(key)
+        fresh = lvt.tag != lvt_tag
+        boundaries = [boundary for boundary, _ in retired]
+        assignment, new_tags = update_tag_assignment(
+            lvt.byte_tags if not fresh else [FREE_TAG] * c.npred,
+            boundaries,
+            fresh_allocation=fresh,
+            monotonic=c.monotonic_byte_tags,
+        )
+        retagged = [
+            s
+            for s in range(c.npred)
+            if not fresh and new_tags[s] != lvt.byte_tags[s]
+        ]
+
+        # Locate the provider entry (it may have been reallocated since the
+        # read; in that case only the LVT is trained).
+        provider_entry: _StrideEntry | None
+        if readout.provider == 0:
+            provider_entry = self._vt0[readout.provider_index]
+        else:
+            entry = self._tagged[readout.provider - 1][readout.provider_index]
+            provider_entry = entry if entry.tag == readout.provider_tag else None
+
+        any_wrong = False
+        any_useful = False
+        observed: dict[int, int] = {}
+        slot_actuals: dict[int, int] = {}
+        correct_slots: set[int] = set()
+        for (boundary, actual), slot in zip(retired, assignment):
+            if slot is None:
+                continue  # more results than prediction slots: coverage lost
+            slot_actuals[slot] = actual
+            prev_last = lvt.last[slot]
+            observed[slot] = self._truncate(actual - prev_last)
+            predicted = readout.values[slot] if readout.values else None
+            correct = (not fresh) and predicted is not None and predicted == actual
+            if correct:
+                correct_slots.add(slot)
+                if readout.alt_strides[slot] != readout.strides[slot]:
+                    any_useful = True
+            else:
+                any_wrong = True
+            if fresh:
+                # First contact with this block: install the last values
+                # below; there is no meaningful stride to train yet.
+                lvt.last[slot] = actual
+                continue
+            if provider_entry is not None and slot not in retagged:
+                if correct:
+                    provider_entry.conf[slot] = self.fpc.advance(
+                        provider_entry.conf[slot]
+                    )
+                else:
+                    provider_entry.conf[slot] = self.fpc.reset_level()
+                    provider_entry.strides[slot] = observed[slot]
+            elif provider_entry is not None:
+                # The slot now belongs to a different instruction: retrain.
+                provider_entry.conf[slot] = self.fpc.reset_level()
+                provider_entry.strides[slot] = observed[slot]
+            lvt.last[slot] = actual
+
+        # Per-block usefulness (§III-D-b): one bit for the whole entry.
+        if provider_entry is not None and readout.provider > 0:
+            if any_wrong:
+                provider_entry.useful = 0
+            elif any_useful:
+                provider_entry.useful = 1
+
+        lvt.tag = lvt_tag
+        lvt.byte_tags = new_tags
+
+        if any_wrong and not fresh:
+            self._allocate(key, readout, observed, correct_slots)
+        self._tick_useful_reset()
+        return slot_actuals
+
+    def _allocate(
+        self,
+        key: int,
+        readout: BlockReadout,
+        observed: dict[int, int],
+        correct_slots: set[int],
+    ) -> None:
+        """Allocate a longer-history entry, propagating confidence
+        (§III-D-b): correct slots keep the provider's counters and strides,
+        wrong slots get the observed stride with reset confidence."""
+        c = self.config
+        candidates = []
+        slots = []
+        for comp in range(readout.provider, c.components):
+            index, tag = self._component_slot(comp, key, readout.hist)
+            slots.append((comp, index, tag))
+            if self._tagged[comp][index].useful == 0:
+                candidates.append((comp, index, tag))
+        if not candidates:
+            for comp, index, _tag in slots:
+                self._tagged[comp][index].useful = 0
+            return
+        comp, index, tag = candidates[self._rng.next_below(len(candidates))]
+        entry = self._tagged[comp][index]
+        entry.tag = tag
+        entry.useful = 0
+        for m in range(c.npred):
+            if m in correct_slots:
+                entry.strides[m] = readout.strides[m]
+                entry.conf[m] = (
+                    readout.conf[m] if c.propagate_confidence else 0
+                )
+            elif m in observed:
+                entry.strides[m] = observed[m]
+                entry.conf[m] = 0
+            else:
+                # Slot not exercised by this instance: inherit the provider.
+                entry.strides[m] = readout.strides[m]
+                entry.conf[m] = (
+                    readout.conf[m] if c.propagate_confidence else 0
+                )
+
+    def _tick_useful_reset(self) -> None:
+        self._updates_since_reset += 1
+        if self._updates_since_reset >= self.config.useful_reset_period:
+            self._updates_since_reset = 0
+            for component in self._tagged:
+                for entry in component:
+                    entry.useful = 0
+
+    # -- reporting -------------------------------------------------------------
+
+    def storage_bits(self) -> int:
+        """Bit-exact Table III accounting (without the speculative window —
+        see :meth:`repro.bebop.spec_window.SpeculativeWindow.storage_bits`)."""
+        c = self.config
+        lvt_entry = c.npred * (64 + c.byte_tag_bits) + c.lvt_tag_bits
+        vt0_entry = c.npred * (c.stride_bits + self.fpc.bits)
+        bits = c.base_entries * (lvt_entry + vt0_entry)
+        for comp in range(c.components):
+            tagged_entry = (
+                c.npred * (c.stride_bits + self.fpc.bits)
+                + self.tag_bits[comp]
+                + 1
+            )
+            bits += c.tagged_entries * tagged_entry
+        return bits

@@ -1,0 +1,46 @@
+"""Speculative-window / update-queue recovery policies (paper §IV-A).
+
+On a pipeline flush, entries younger than the flushing instruction are
+discarded from both the speculative window and the FIFO update queue.  When
+the first instruction fetched after the flush (``Inew``) belongs to the same
+fetch block as the flushing instruction (``Bnew == Bflush`` — the typical
+value-misprediction case), four policies are defined:
+
+* ``DNRR`` — *Do not Repredict and Reuse*: keep the flushed block's
+  prediction block and let the refetched instructions use it.
+* ``DNRDNR`` — *Do not Repredict and do not Reuse*: keep it for training but
+  forbid the refetched instructions from using the predictions (if one
+  prediction in the block was wrong, the rest probably are too).
+* ``REPRED`` — squash the head and generate a fresh prediction block.
+* ``IDEAL`` — instruction-granularity tracking: keep predictions older than
+  the flush point, generate fresh ones for the rest; the speculative state
+  is always consistent.  (Idealistic reference, not implementable as is.)
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RecoveryPolicy(enum.Enum):
+    """How the BeBoP engine handles a flush with ``Bnew == Bflush``."""
+
+    IDEAL = "ideal"
+    REPRED = "repred"
+    DNRDNR = "dnrdnr"
+    DNRR = "dnrr"
+
+    @property
+    def repredicts(self) -> bool:
+        """Does the refetched block get a freshly generated prediction?"""
+        return self in (RecoveryPolicy.IDEAL, RecoveryPolicy.REPRED)
+
+    @property
+    def reuses_predictions(self) -> bool:
+        """May the refetched instructions *use* the kept predictions?"""
+        return self in (RecoveryPolicy.IDEAL, RecoveryPolicy.REPRED, RecoveryPolicy.DNRR)
+
+    @property
+    def squashes_head(self) -> bool:
+        """Is the flushed block's own window/queue entry discarded?"""
+        return self is RecoveryPolicy.REPRED

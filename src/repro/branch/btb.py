@@ -1,0 +1,87 @@
+"""Branch Target Buffer and Return Address Stack (Table I).
+
+The BTB is set-associative with LRU replacement; a taken branch whose target
+misses in the BTB costs a front-end redirect even when the direction was
+predicted correctly.  The RAS is a small circular stack; the synthetic ISA
+has no call/return, so the RAS exists for interface completeness and unit
+testing of the structure itself.
+"""
+
+from __future__ import annotations
+
+
+class BranchTargetBuffer:
+    """2-way set-associative BTB, 8K entries by default (Table I)."""
+
+    def __init__(self, entries: int = 8192, ways: int = 2) -> None:
+        if entries % ways:
+            raise ValueError(f"{entries} entries not divisible by {ways} ways")
+        sets = entries // ways
+        if sets <= 0 or sets & (sets - 1):
+            raise ValueError(f"set count must be a power of two, got {sets}")
+        self.entries = entries
+        self.ways = ways
+        self.sets = sets
+        self._index_mask = sets - 1
+        # Per set: list of (tag, target), most recently used last.
+        self._table: list[list[tuple[int, int]]] = [[] for _ in range(sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_and_tag(self, pc: int) -> tuple[list[tuple[int, int]], int]:
+        index = (pc >> 2) & self._index_mask
+        tag = pc >> 2 >> self.sets.bit_length() - 1
+        return self._table[index], tag
+
+    def lookup(self, pc: int) -> int | None:
+        """Predicted target of the branch at ``pc``, or None on miss."""
+        ways, tag = self._set_and_tag(pc)
+        for i, (t, target) in enumerate(ways):
+            if t == tag:
+                ways.append(ways.pop(i))  # LRU bump
+                self.hits += 1
+                return target
+        self.misses += 1
+        return None
+
+    def install(self, pc: int, target: int) -> None:
+        """Record the resolved target of a taken branch."""
+        ways, tag = self._set_and_tag(pc)
+        for i, (t, _) in enumerate(ways):
+            if t == tag:
+                ways[i] = (tag, target)
+                ways.append(ways.pop(i))
+                return
+        if len(ways) >= self.ways:
+            ways.pop(0)
+        ways.append((tag, target))
+
+    def storage_bits(self) -> int:
+        # ~30-bit tags + 32-bit (compressed) targets per entry.
+        return self.entries * (30 + 32)
+
+
+class ReturnAddressStack:
+    """Circular return-address stack (32 entries in Table I)."""
+
+    def __init__(self, depth: int = 32) -> None:
+        if depth <= 0:
+            raise ValueError(f"depth must be positive, got {depth}")
+        self.depth = depth
+        self._stack: list[int] = []
+
+    def push(self, return_pc: int) -> None:
+        if len(self._stack) >= self.depth:
+            self._stack.pop(0)  # overflow: lose the oldest
+        self._stack.append(return_pc)
+
+    def pop(self) -> int | None:
+        if not self._stack:
+            return None
+        return self._stack.pop()
+
+    def peek(self) -> int | None:
+        return self._stack[-1] if self._stack else None
+
+    def __len__(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,219 @@
+"""TAGE conditional branch predictor (Seznec & Michaud, JILP 2006).
+
+A bimodal base predictor plus ``n`` partially tagged components indexed with
+geometrically increasing global-history lengths.  The paper's simulator uses
+a 1+12-component, ~15K-entry (~32KB) TAGE with a 20-cycle minimum
+misprediction penalty; those are the defaults here.
+
+The implementation follows the canonical TAGE policies: provider/altpred
+selection, "weak provider uses altpred" filtering via a use-alt-on-new-alloc
+counter, 2-bit usefulness counters with periodic graceful reset, and
+allocation in a randomly chosen not-useful longer-history slot.
+"""
+
+from __future__ import annotations
+
+from repro.common.bits import mask
+from repro.common.rng import XorShift64
+from repro.predictors.base import HistoryState, tagged_index, tagged_tag
+from repro.predictors.vtage import geometric_history_lengths
+
+
+class _BimodalEntry:
+    __slots__ = ("ctr",)
+
+    def __init__(self) -> None:
+        self.ctr = 2  # 2-bit counter, weakly taken
+
+
+class _TaggedEntry:
+    __slots__ = ("tag", "ctr", "useful")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.ctr = 4  # 3-bit counter, weak
+        self.useful = 0
+
+
+class _BranchMeta:
+    """Provider information carried from predict to train."""
+
+    __slots__ = ("provider", "index", "tag", "alt_taken", "provider_weak")
+
+    def __init__(
+        self,
+        provider: int,
+        index: int,
+        tag: int,
+        alt_taken: bool,
+        provider_weak: bool,
+    ) -> None:
+        self.provider = provider
+        self.index = index
+        self.tag = tag
+        self.alt_taken = alt_taken
+        self.provider_weak = provider_weak
+
+
+class TAGEBranchPredictor:
+    """1 + n component TAGE.
+
+    Defaults approximate the paper's configuration: 12 tagged components
+    with 8..640-bit geometric histories and a 4K-entry bimodal base, about
+    15K entries total.
+    """
+
+    def __init__(
+        self,
+        bimodal_entries: int = 4096,
+        tagged_entries: int = 1024,
+        components: int = 12,
+        first_tag_bits: int = 8,
+        min_history: int = 8,
+        max_history: int = 640,
+        useful_reset_period: int = 262144,
+        seed: int = 0x7A63,
+    ) -> None:
+        for n, what in ((bimodal_entries, "bimodal"), (tagged_entries, "tagged")):
+            if n <= 0 or n & (n - 1):
+                raise ValueError(f"{what} entries must be a power of two, got {n}")
+        self.bimodal_entries = bimodal_entries
+        self.tagged_entries = tagged_entries
+        self.components = components
+        self.bimodal_index_bits = bimodal_entries.bit_length() - 1
+        self.tagged_index_bits = tagged_entries.bit_length() - 1
+        self.tag_bits = tuple(
+            min(first_tag_bits + i // 2, 15) for i in range(components)
+        )
+        self.history_lengths = geometric_history_lengths(
+            components, min_history, max_history
+        )
+        self._bimodal = [_BimodalEntry() for _ in range(bimodal_entries)]
+        self._tagged = [
+            [_TaggedEntry() for _ in range(tagged_entries)]
+            for _ in range(components)
+        ]
+        self._rng = XorShift64(seed)
+        self._use_alt_on_new_alloc = 8  # 4-bit counter centred at 8
+        self._useful_reset_period = useful_reset_period
+        self._updates = 0
+
+    # -- lookups -----------------------------------------------------------
+
+    def _bimodal_entry(self, pc: int) -> _BimodalEntry:
+        return self._bimodal[(pc >> 2) & mask(self.bimodal_index_bits)]
+
+    def _slot(self, comp: int, pc: int, hist: HistoryState) -> tuple[int, int]:
+        length = self.history_lengths[comp]
+        index = tagged_index(pc, hist, length, self.tagged_index_bits)
+        tag = tagged_tag(pc, hist, length, self.tag_bits[comp])
+        return index, tag
+
+    # -- prediction ---------------------------------------------------------
+
+    def predict(self, pc: int, hist: HistoryState) -> tuple[bool, _BranchMeta]:
+        """Predicted direction plus the metadata train() needs."""
+        hits: list[tuple[int, int, int]] = []
+        for comp in range(self.components):
+            index, tag = self._slot(comp, pc, hist)
+            if self._tagged[comp][index].tag == tag:
+                hits.append((comp, index, tag))
+        base_taken = self._bimodal_entry(pc).ctr >= 2
+        if not hits:
+            meta = _BranchMeta(0, 0, 0, base_taken, False)
+            return base_taken, meta
+        comp, index, tag = hits[-1]
+        entry = self._tagged[comp][index]
+        taken = entry.ctr >= 4
+        weak = entry.ctr in (3, 4)
+        if len(hits) > 1:
+            alt_comp, alt_index, _ = hits[-2]
+            alt_taken = self._tagged[alt_comp][alt_index].ctr >= 4
+        else:
+            alt_taken = base_taken
+        meta = _BranchMeta(comp + 1, index, tag, alt_taken, weak)
+        # Newly allocated (weak) providers are unreliable: optionally trust
+        # the alternate prediction instead.
+        if weak and self._use_alt_on_new_alloc >= 8:
+            return alt_taken, meta
+        return taken, meta
+
+    # -- training -----------------------------------------------------------
+
+    def train(
+        self, pc: int, hist: HistoryState, taken: bool, meta: _BranchMeta
+    ) -> None:
+        """Update with the resolved direction (meta from the predict call)."""
+        if meta.provider == 0:
+            entry = self._bimodal_entry(pc)
+            entry.ctr = min(3, entry.ctr + 1) if taken else max(0, entry.ctr - 1)
+            provider_taken = meta.alt_taken
+            provider_correct = provider_taken == taken
+            if not provider_correct:
+                self._allocate(pc, hist, 0, taken)
+            self._tick()
+            return
+        comp = meta.provider - 1
+        entry = self._tagged[comp][meta.index]
+        if entry.tag == meta.tag:
+            provider_taken = entry.ctr >= 4
+            provider_correct = provider_taken == taken
+            entry.ctr = min(7, entry.ctr + 1) if taken else max(0, entry.ctr - 1)
+            if provider_correct and meta.alt_taken != provider_taken:
+                entry.useful = min(3, entry.useful + 1)
+            elif not provider_correct:
+                entry.useful = max(0, entry.useful - 1)
+            if meta.provider_weak and meta.alt_taken != provider_taken:
+                # Track whether trusting the alternate over weak providers
+                # pays off.
+                if meta.alt_taken == taken:
+                    self._use_alt_on_new_alloc = min(15, self._use_alt_on_new_alloc + 1)
+                else:
+                    self._use_alt_on_new_alloc = max(0, self._use_alt_on_new_alloc - 1)
+            if not provider_correct:
+                self._allocate(pc, hist, meta.provider, taken)
+        else:
+            # Entry was reallocated between fetch and retire; just allocate.
+            self._allocate(pc, hist, meta.provider, taken)
+        self._tick()
+
+    def _allocate(self, pc: int, hist: HistoryState, provider: int, taken: bool) -> None:
+        candidates = []
+        slots = []
+        for comp in range(provider, self.components):
+            index, tag = self._slot(comp, pc, hist)
+            slots.append((comp, index, tag))
+            if self._tagged[comp][index].useful == 0:
+                candidates.append((comp, index, tag))
+        if not candidates:
+            for comp, index, _ in slots:
+                entry = self._tagged[comp][index]
+                entry.useful = max(0, entry.useful - 1)
+            return
+        # Bias allocation toward shorter histories (classic TAGE heuristic):
+        # pick the first candidate with probability 1/2, else uniformly.
+        if len(candidates) > 1 and self._rng.chance(0.5):
+            choice = candidates[0]
+        else:
+            choice = candidates[self._rng.next_below(len(candidates))]
+        comp, index, tag = choice
+        entry = self._tagged[comp][index]
+        entry.tag = tag
+        entry.ctr = 4 if taken else 3
+        entry.useful = 0
+
+    def _tick(self) -> None:
+        self._updates += 1
+        if self._updates >= self._useful_reset_period:
+            self._updates = 0
+            for component in self._tagged:
+                for entry in component:
+                    entry.useful = 0
+
+    # -- reporting ----------------------------------------------------------
+
+    def storage_bits(self) -> int:
+        bits = self.bimodal_entries * 2
+        for comp in range(self.components):
+            bits += self.tagged_entries * (self.tag_bits[comp] + 3 + 2)
+        return bits

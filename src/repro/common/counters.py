@@ -1,0 +1,138 @@
+"""Confidence and usefulness counters.
+
+Two kinds of small counters appear throughout the paper:
+
+* plain saturating counters (TAGE usefulness bits, 2-delta stride confidence);
+* *Forward Probabilistic Counters* (FPC, Perais & Seznec HPCA 2014): a 3-bit
+  counter that is reset on a wrong prediction and incremented only with a
+  per-level probability on a correct one.  With probability vector
+  ``{1, 1/16, 1/16, 1/16, 1/16, 1/32, 1/32}`` an instruction must be correct
+  around 200 times on average before its prediction is used, which is what
+  pushes accuracy above 99.5%.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.common.rng import XorShift64
+
+#: Probability vector used in the paper (Section V-B) for 3-bit FPC:
+#: the first transition (0 -> 1) always happens, the next four happen with
+#: probability 1/16 and the last two with probability 1/32.
+PAPER_FPC_PROBABILITIES: tuple[float, ...] = (
+    1.0,
+    1.0 / 16,
+    1.0 / 16,
+    1.0 / 16,
+    1.0 / 16,
+    1.0 / 32,
+    1.0 / 32,
+)
+
+
+class SaturatingCounter:
+    """An n-bit up/down saturating counter.
+
+    >>> c = SaturatingCounter(bits=2, initial=0)
+    >>> for _ in range(5):
+    ...     _ = c.increment()
+    >>> c.value
+    3
+    """
+
+    __slots__ = ("bits", "_max", "value")
+
+    def __init__(self, bits: int, initial: int = 0) -> None:
+        if bits <= 0:
+            raise ValueError(f"counter width must be positive, got {bits}")
+        self.bits = bits
+        self._max = (1 << bits) - 1
+        if not 0 <= initial <= self._max:
+            raise ValueError(f"initial value {initial} out of range for {bits} bits")
+        self.value = initial
+
+    @property
+    def max_value(self) -> int:
+        return self._max
+
+    def increment(self) -> int:
+        if self.value < self._max:
+            self.value += 1
+        return self.value
+
+    def decrement(self) -> int:
+        if self.value > 0:
+            self.value -= 1
+        return self.value
+
+    def reset(self, value: int = 0) -> None:
+        if not 0 <= value <= self._max:
+            raise ValueError(f"reset value {value} out of range")
+        self.value = value
+
+    @property
+    def is_saturated(self) -> bool:
+        return self.value == self._max
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SaturatingCounter(bits={self.bits}, value={self.value})"
+
+
+class ForwardProbabilisticCounter:
+    """3-bit (by default) forward probabilistic confidence counter.
+
+    The counter advances from level ``k`` to ``k+1`` with probability
+    ``probabilities[k]`` on a correct prediction and resets to zero on an
+    incorrect one.  The prediction is *used* only when the counter saturates.
+    """
+
+    __slots__ = ("bits", "_max", "probabilities", "value", "_rng")
+
+    def __init__(
+        self,
+        bits: int = 3,
+        probabilities: Sequence[float] = PAPER_FPC_PROBABILITIES,
+        rng: XorShift64 | None = None,
+        initial: int = 0,
+    ) -> None:
+        self.bits = bits
+        self._max = (1 << bits) - 1
+        if len(probabilities) != self._max:
+            raise ValueError(
+                f"need {self._max} transition probabilities for a "
+                f"{bits}-bit counter, got {len(probabilities)}"
+            )
+        self.probabilities = tuple(probabilities)
+        if not 0 <= initial <= self._max:
+            raise ValueError(f"initial value {initial} out of range")
+        self.value = initial
+        self._rng = rng if rng is not None else XorShift64()
+
+    @property
+    def max_value(self) -> int:
+        return self._max
+
+    @property
+    def is_confident(self) -> bool:
+        """True when the prediction should actually be used."""
+        return self.value == self._max
+
+    def on_correct(self) -> None:
+        """Probabilistically advance after a correct prediction."""
+        if self.value < self._max and self._rng.chance(self.probabilities[self.value]):
+            self.value += 1
+
+    def on_incorrect(self) -> None:
+        """Reset after a wrong prediction."""
+        self.value = 0
+
+    def set(self, value: int) -> None:
+        """Force the counter level (used when D-VTAGE propagates confidence
+        from a providing entry into a newly allocated one)."""
+        if not 0 <= value <= self._max:
+            raise ValueError(f"value {value} out of range")
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ForwardProbabilisticCounter(bits={self.bits}, value={self.value})"

@@ -1,0 +1,106 @@
+"""Global branch/path history and TAGE-style folded histories.
+
+VTAGE and D-VTAGE index their partially tagged components with a hash of the
+PC, the global *branch outcome* history and the *path* history (low-order bits
+of recent branch targets).  TAGE hardware keeps, per component, circular
+"folded" registers that are updated incrementally in O(1) per branch; we model
+the histories directly as shift registers and fold on demand, which is
+behaviourally identical and simpler to checkpoint/restore on pipeline flushes.
+"""
+
+from __future__ import annotations
+
+from repro.common.bits import fold_bits, mask
+
+
+class GlobalHistory:
+    """A bounded global history register.
+
+    ``push`` shifts new bits in at the LSB end.  ``snapshot``/``restore``
+    provide O(1) checkpointing, which the pipeline model uses on every branch
+    misprediction or value-misprediction squash.
+    """
+
+    __slots__ = ("capacity", "_mask", "_bits")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"history capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._mask = mask(capacity)
+        self._bits = 0
+
+    def push(self, value: int, bits: int = 1) -> None:
+        """Shift ``bits`` low-order bits of ``value`` into the history."""
+        self._bits = ((self._bits << bits) | (value & mask(bits))) & self._mask
+
+    def push_outcome(self, taken: bool) -> None:
+        """Shift a single branch outcome bit in."""
+        self.push(1 if taken else 0, 1)
+
+    def push_path(self, target_pc: int, bits: int = 2) -> None:
+        """Shift low-order target-address bits in (path history)."""
+        self.push(target_pc, bits)
+
+    def value(self, length: int | None = None) -> int:
+        """Return the most recent ``length`` bits (default: full register)."""
+        if length is None:
+            return self._bits
+        return self._bits & mask(min(length, self.capacity))
+
+    def folded(self, length: int, output_bits: int) -> int:
+        """Return the most recent ``length`` bits folded to ``output_bits``."""
+        return fold_bits(self.value(length), min(length, self.capacity), output_bits)
+
+    def snapshot(self) -> int:
+        return self._bits
+
+    def restore(self, snapshot: int) -> None:
+        self._bits = snapshot & self._mask
+
+    def clear(self) -> None:
+        self._bits = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GlobalHistory(capacity={self.capacity}, bits={self._bits:#x})"
+
+
+class FoldedHistory:
+    """Incrementally folded history as implemented in TAGE hardware.
+
+    Kept alongside :class:`GlobalHistory` mainly to document (and test) the
+    equivalence of the incremental circular-shift-register formulation with
+    direct folding.  ``update`` must be called with every inserted and every
+    evicted bit, exactly as the hardware does.
+    """
+
+    __slots__ = ("history_length", "output_bits", "_value", "_evict_pos")
+
+    def __init__(self, history_length: int, output_bits: int) -> None:
+        if output_bits <= 0:
+            raise ValueError("output width must be positive")
+        self.history_length = history_length
+        self.output_bits = output_bits
+        self._value = 0
+        # Position at which the bit leaving the history re-enters the fold.
+        self._evict_pos = history_length % output_bits
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def update(self, inserted_bit: int, evicted_bit: int) -> None:
+        """Account for one bit entering and one leaving the history."""
+        out_mask = mask(self.output_bits)
+        # Circular left shift by one.
+        v = ((self._value << 1) | (self._value >> (self.output_bits - 1))) & out_mask
+        v ^= inserted_bit & 1
+        v ^= (evicted_bit & 1) << self._evict_pos
+        # The eviction XOR may land on bit ``output_bits`` when
+        # history_length is a multiple of output_bits; wrap it.
+        if self._evict_pos == self.output_bits:  # pragma: no cover - guarded by init
+            v ^= evicted_bit & 1
+        self._value = v & out_mask
+
+    def clear(self) -> None:
+        self._value = 0

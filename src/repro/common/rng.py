@@ -1,0 +1,68 @@
+"""Deterministic pseudo-random number generation.
+
+Hardware predictors use small LFSRs for probabilistic decisions (TAGE
+allocation choice, forward-probabilistic confidence increments).  We model
+them with a xorshift64 generator: fast, stateful, and fully deterministic so
+that two simulations with the same seed produce identical cycle counts.
+"""
+
+from __future__ import annotations
+
+from repro.common.bits import WORD_MASK
+
+
+class XorShift64:
+    """Marsaglia xorshift64 generator with a 64-bit state.
+
+    >>> rng = XorShift64(seed=1)
+    >>> a = rng.next_u64()
+    >>> rng2 = XorShift64(seed=1)
+    >>> a == rng2.next_u64()
+    True
+    """
+
+    def __init__(self, seed: int = 0x9E3779B97F4A7C15) -> None:
+        if seed == 0:
+            # A zero state is a fixed point of xorshift; remap it.
+            seed = 0x9E3779B97F4A7C15
+        self._state = seed & WORD_MASK
+
+    def next_u64(self) -> int:
+        """Advance the state and return the next 64-bit value."""
+        x = self._state
+        x ^= (x << 13) & WORD_MASK
+        x ^= x >> 7
+        x ^= (x << 17) & WORD_MASK
+        self._state = x
+        return x
+
+    def next_bits(self, bits: int) -> int:
+        """Return the next value truncated to ``bits`` bits."""
+        return self.next_u64() & ((1 << bits) - 1)
+
+    def next_below(self, bound: int) -> int:
+        """Return a value uniform-ish in ``[0, bound)``.
+
+        Modulo bias is irrelevant at the scale of table-allocation decisions,
+        matching how real designs use a handful of LFSR bits.
+        """
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        return self.next_u64() % bound
+
+    def chance(self, probability: float) -> bool:
+        """Bernoulli draw with the given probability (0.0..1.0)."""
+        if probability >= 1.0:
+            return True
+        if probability <= 0.0:
+            return False
+        return self.next_u64() < int(probability * (WORD_MASK + 1))
+
+    def fork(self) -> "XorShift64":
+        """Return an independent generator seeded from this one.
+
+        The child's seed is scrambled so that it does not share its state
+        (and hence its next outputs) with the parent.
+        """
+        seed = (self.next_u64() * 0x2545F4914F6CDD1D) & WORD_MASK
+        return XorShift64(seed | 1)

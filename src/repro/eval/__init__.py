@@ -1,0 +1,40 @@
+"""Experiment harness: regenerate every table and figure of Section VI.
+
+* :mod:`repro.eval.runner` — builders for traces, predictors and pipeline
+  configurations, with per-process trace caching;
+* :mod:`repro.eval.experiments` — one entry point per paper artefact
+  (``fig5a`` ... ``fig8``, ``table2_ipc``, ``table3_storage``,
+  ``partial_strides``);
+* :mod:`repro.eval.reporting` — text rendering of the result structures
+  (per-benchmark rows, gmean / min / max aggregates like the paper's box
+  plots).
+"""
+
+from repro.eval.runner import (
+    DEFAULT_TRACE_UOPS,
+    DEFAULT_WARMUP_UOPS,
+    RunSpec,
+    get_trace,
+    make_bebop_engine,
+    make_instr_predictor,
+    run_baseline,
+    run_bebop_eole,
+    run_eole_instr_vp,
+    run_instr_vp,
+)
+from repro.eval import experiments, reporting
+
+__all__ = [
+    "DEFAULT_TRACE_UOPS",
+    "DEFAULT_WARMUP_UOPS",
+    "RunSpec",
+    "get_trace",
+    "make_instr_predictor",
+    "make_bebop_engine",
+    "run_baseline",
+    "run_instr_vp",
+    "run_eole_instr_vp",
+    "run_bebop_eole",
+    "experiments",
+    "reporting",
+]

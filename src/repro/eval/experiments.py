@@ -1,0 +1,304 @@
+"""One entry point per table/figure of the paper's Section VI.
+
+Every function returns plain data structures (dicts keyed by workload /
+configuration) so tests can assert on shapes and the reporting module can
+render them.  Speedups are IPC ratios on identical traces; aggregates use
+the geometric mean like the paper.
+"""
+
+from __future__ import annotations
+
+from repro.bebop import BlockDVTAGEConfig, RecoveryPolicy
+from repro.pipeline.stats import gmean
+from repro.storage import TABLE_III, TableIIIConfig, breakdown
+from repro.eval.runner import (
+    RunSpec,
+    get_trace,
+    make_bebop_engine,
+    make_instr_predictor,
+    run_baseline,
+    run_bebop_eole,
+    run_eole_instr_vp,
+    run_instr_vp,
+)
+
+#: Fig 5a predictor line-up, in the paper's legend order.
+FIG5A_PREDICTORS = ("2d-stride", "vtage", "vtage-2d-stride", "d-vtage")
+
+#: Fig 6a entry geometries: (npred, base entries, tagged entries).
+FIG6A_GEOMETRIES = (
+    (4, 1024, 128),
+    (6, 1024, 128),
+    (8, 1024, 128),
+    (4, 2048, 256),
+    (6, 2048, 256),
+    (8, 2048, 256),
+)
+
+#: Fig 6b geometries at npred=6: (base entries, tagged entries).
+FIG6B_GEOMETRIES = (
+    (512, 128),
+    (1024, 128),
+    (2048, 128),
+    (512, 256),
+    (1024, 256),
+    (2048, 256),
+)
+
+#: §VI-B(a) partial stride widths.
+PARTIAL_STRIDE_BITS = (64, 32, 16, 8)
+
+#: Fig 7b speculative window sizes (None = infinite, 0 = no window).
+FIG7B_WINDOW_SIZES = (None, 64, 56, 48, 32, 16, 0)
+
+#: Table III / Fig 8 final configurations.
+FIG8_CONFIGS = {
+    "Small_4p": (BlockDVTAGEConfig(npred=4, base_entries=256, tagged_entries=128,
+                                   stride_bits=8), 32),
+    "Small_6p": (BlockDVTAGEConfig(npred=6, base_entries=128, tagged_entries=128,
+                                   stride_bits=8), 32),
+    "Medium": (BlockDVTAGEConfig(npred=6, base_entries=256, tagged_entries=256,
+                                 stride_bits=8), 32),
+    "Large": (BlockDVTAGEConfig(npred=6, base_entries=512, tagged_entries=256,
+                                stride_bits=16), 56),
+}
+
+
+def _baselines(spec: RunSpec) -> dict[str, float]:
+    """Baseline_6_60 IPC per workload."""
+    out = {}
+    for name in spec.names():
+        out[name] = run_baseline(get_trace(name, spec.uops), spec.warmup).ipc
+    return out
+
+
+def aggregate(speedups: dict[str, float]) -> dict[str, float]:
+    """The paper's box-plot summary: gmean plus min and max."""
+    values = list(speedups.values())
+    return {"gmean": gmean(values), "min": min(values), "max": max(values)}
+
+
+# ---------------------------------------------------------------------------
+# Table II — baseline IPC per benchmark.
+# ---------------------------------------------------------------------------
+
+def table2_ipc(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
+    """Per-workload baseline IPC next to the paper's Table II IPC."""
+    from repro.workloads.suite import get_spec
+
+    out: dict[str, dict[str, float]] = {}
+    for name in spec.names():
+        stats = run_baseline(get_trace(name, spec.uops), spec.warmup)
+        out[name] = {"ipc": stats.ipc, "paper_ipc": get_spec(name).paper_ipc}
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig 5a — instruction-based predictors over Baseline_6_60.
+# ---------------------------------------------------------------------------
+
+def fig5a(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
+    """Speedup of each predictor over Baseline_6_60, per workload."""
+    base = _baselines(spec)
+    out: dict[str, dict[str, float]] = {name: {} for name in spec.names()}
+    for kind in FIG5A_PREDICTORS:
+        for name in spec.names():
+            stats = run_instr_vp(
+                get_trace(name, spec.uops), make_instr_predictor(kind), spec.warmup
+            )
+            out[name][kind] = stats.ipc / base[name]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig 5b — EOLE_4_60 over Baseline_VP_6_60 (both with instr D-VTAGE).
+# ---------------------------------------------------------------------------
+
+def fig5b(spec: RunSpec = RunSpec()) -> dict[str, float]:
+    """EOLE at issue-4 should preserve Baseline_VP_6_60 performance."""
+    out: dict[str, float] = {}
+    for name in spec.names():
+        trace = get_trace(name, spec.uops)
+        vp6 = run_instr_vp(trace, make_instr_predictor("d-vtage"), spec.warmup)
+        eole4 = run_eole_instr_vp(trace, make_instr_predictor("d-vtage"), spec.warmup)
+        out[name] = eole4.ipc / vp6.ipc
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig 6 — BeBoP geometry sweeps (speedup over EOLE_4_60 without... the paper
+# normalises to the idealistic EOLE_4_60 with instruction-based D-VTAGE).
+# ---------------------------------------------------------------------------
+
+def _eole_reference(spec: RunSpec) -> dict[str, float]:
+    """EOLE_4_60 with idealistic instruction-based D-VTAGE (the Fig 6/7
+    normalisation baseline)."""
+    out = {}
+    for name in spec.names():
+        out[name] = run_eole_instr_vp(
+            get_trace(name, spec.uops), make_instr_predictor("d-vtage"), spec.warmup
+        ).ipc
+    return out
+
+
+def fig6a(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
+    """Npred / table-size sweep: {config label: {workload: speedup}}."""
+    reference = _eole_reference(spec)
+    out: dict[str, dict[str, float]] = {}
+    for npred, base_entries, tagged_entries in FIG6A_GEOMETRIES:
+        label = f"{npred}p {base_entries // 1024}K+6x{tagged_entries}"
+        config = BlockDVTAGEConfig(
+            npred=npred, base_entries=base_entries, tagged_entries=tagged_entries
+        )
+        row = {}
+        for name in spec.names():
+            engine = make_bebop_engine(config, window=None)
+            stats = run_bebop_eole(get_trace(name, spec.uops), engine, spec.warmup)
+            row[name] = stats.ipc / reference[name]
+        out[label] = row
+    return out
+
+
+def fig6b(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
+    """Base-size vs tagged-size sweep at 6 predictions per entry."""
+    reference = _eole_reference(spec)
+    out: dict[str, dict[str, float]] = {}
+    for base_entries, tagged_entries in FIG6B_GEOMETRIES:
+        base_label = f"{base_entries // 1024}K" if base_entries >= 1024 else str(base_entries)
+        label = f"{base_label}+6x{tagged_entries}"
+        config = BlockDVTAGEConfig(
+            npred=6, base_entries=base_entries, tagged_entries=tagged_entries
+        )
+        row = {}
+        for name in spec.names():
+            engine = make_bebop_engine(config, window=None)
+            stats = run_bebop_eole(get_trace(name, spec.uops), engine, spec.warmup)
+            row[name] = stats.ipc / reference[name]
+        out[label] = row
+    return out
+
+
+# ---------------------------------------------------------------------------
+# §VI-B(a) — partial strides.
+# ---------------------------------------------------------------------------
+
+def partial_strides(spec: RunSpec = RunSpec()) -> dict[int, dict[str, object]]:
+    """Stride width sweep: speedup over the EOLE reference + storage."""
+    reference = _eole_reference(spec)
+    out: dict[int, dict[str, object]] = {}
+    for bits in PARTIAL_STRIDE_BITS:
+        config = BlockDVTAGEConfig(stride_bits=bits)
+        speedups = {}
+        for name in spec.names():
+            engine = make_bebop_engine(config, window=None)
+            stats = run_bebop_eole(get_trace(name, spec.uops), engine, spec.warmup)
+            speedups[name] = stats.ipc / reference[name]
+        storage = breakdown(
+            TableIIIConfig(
+                name=f"stride{bits}",
+                base_entries=2048,
+                tagged_entries=256,
+                components=6,
+                spec_window_entries=0,
+                stride_bits=bits,
+                npred=6,
+                paper_kb=0.0,
+            )
+        )
+        out[bits] = {
+            "speedups": speedups,
+            "aggregate": aggregate(speedups),
+            "storage_kb": storage.total_kb,
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig 7a — recovery policies; Fig 7b — window sizes.
+# ---------------------------------------------------------------------------
+
+def fig7a(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
+    """Recovery-policy sweep with an infinite speculative window."""
+    reference = _eole_reference(spec)
+    out: dict[str, dict[str, float]] = {}
+    for policy in (RecoveryPolicy.IDEAL, RecoveryPolicy.REPRED,
+                   RecoveryPolicy.DNRDNR, RecoveryPolicy.DNRR):
+        row = {}
+        for name in spec.names():
+            engine = make_bebop_engine(window=None, policy=policy)
+            stats = run_bebop_eole(get_trace(name, spec.uops), engine, spec.warmup)
+            row[name] = stats.ipc / reference[name]
+        out[policy.value] = row
+    return out
+
+
+def fig7b(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
+    """Speculative-window size sweep under the DnRDnR policy."""
+    reference = _eole_reference(spec)
+    out: dict[str, dict[str, float]] = {}
+    for size in FIG7B_WINDOW_SIZES:
+        label = "inf" if size is None else ("none" if size == 0 else str(size))
+        row = {}
+        for name in spec.names():
+            engine = make_bebop_engine(window=size, policy=RecoveryPolicy.DNRDNR)
+            stats = run_bebop_eole(get_trace(name, spec.uops), engine, spec.warmup)
+            row[name] = stats.ipc / reference[name]
+        out[label] = row
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Table III — storage budgets; Fig 8 — final configurations.
+# ---------------------------------------------------------------------------
+
+def table3_storage() -> dict[str, dict[str, float]]:
+    """Computed vs published storage of the four final configurations."""
+    out = {}
+    for config in TABLE_III:
+        b = breakdown(config)
+        out[config.name] = {
+            "computed_kb": b.total_kb,
+            "paper_kb": config.paper_kb,
+            "lvt_kb": b.lvt_bits / 8 / 1000,
+            "vt0_kb": b.vt0_bits / 8 / 1000,
+            "tagged_kb": b.tagged_bits / 8 / 1000,
+            "window_kb": b.window_bits / 8 / 1000,
+        }
+    return out
+
+
+def fig8(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
+    """Final configurations over Baseline_6_60, plus the two references.
+
+    Returns {config label: {workload: speedup over Baseline_6_60}} for
+    Baseline_VP_6_60, EOLE_4_60 (both idealistic instruction-based D-VTAGE)
+    and the four Table III block-based configurations.
+    """
+    base = _baselines(spec)
+    out: dict[str, dict[str, float]] = {}
+
+    row = {}
+    for name in spec.names():
+        stats = run_instr_vp(
+            get_trace(name, spec.uops), make_instr_predictor("d-vtage"), spec.warmup
+        )
+        row[name] = stats.ipc / base[name]
+    out["Baseline_VP_6_60"] = row
+
+    row = {}
+    for name in spec.names():
+        stats = run_eole_instr_vp(
+            get_trace(name, spec.uops), make_instr_predictor("d-vtage"), spec.warmup
+        )
+        row[name] = stats.ipc / base[name]
+    out["EOLE_4_60"] = row
+
+    for label, (config, window) in FIG8_CONFIGS.items():
+        row = {}
+        for name in spec.names():
+            engine = make_bebop_engine(config, window=window,
+                                       policy=RecoveryPolicy.DNRDNR)
+            stats = run_bebop_eole(get_trace(name, spec.uops), engine, spec.warmup)
+            row[name] = stats.ipc / base[name]
+        out[label] = row
+    return out

@@ -1,0 +1,95 @@
+"""Text rendering of experiment results.
+
+The paper reports either per-benchmark bars (Fig 5, Fig 8) or
+gmean-plus-[min, max] box summaries (Fig 6, Fig 7); these helpers produce
+the matching text tables for EXPERIMENTS.md and the benches' console output.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import aggregate
+
+
+def render_per_workload(
+    title: str, rows: dict[str, dict[str, float]], column_order: list[str] | None = None
+) -> str:
+    """Per-benchmark table: one row per workload, one column per config."""
+    workloads = list(rows)
+    columns = column_order
+    if columns is None:
+        columns = sorted({c for row in rows.values() for c in row})
+    lines = [title, ""]
+    header = f"{'workload':14s}" + "".join(f"{c:>18s}" for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in workloads:
+        line = f"{name:14s}"
+        for c in columns:
+            value = rows[name].get(c)
+            line += f"{value:18.3f}" if value is not None else f"{'-':>18s}"
+        lines.append(line)
+    # Aggregate row.
+    line = f"{'gmean':14s}"
+    for c in columns:
+        values = {w: rows[w][c] for w in workloads if c in rows[w]}
+        line += f"{aggregate(values)['gmean']:18.3f}" if values else f"{'-':>18s}"
+    lines.append(line)
+    return "\n".join(lines)
+
+
+def render_box_summary(title: str, sweeps: dict[str, dict[str, float]]) -> str:
+    """Box-plot style summary: one row per swept configuration."""
+    lines = [title, ""]
+    header = f"{'config':22s}{'gmean':>10s}{'min':>10s}{'max':>10s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, speedups in sweeps.items():
+        agg = aggregate(speedups)
+        lines.append(
+            f"{label:22s}{agg['gmean']:10.3f}{agg['min']:10.3f}{agg['max']:10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_table2(results: dict[str, dict[str, float]]) -> str:
+    """Table II: measured vs published baseline IPC."""
+    lines = ["Table II — baseline IPC (ours vs paper)", ""]
+    header = f"{'workload':14s}{'IPC (model)':>14s}{'IPC (paper)':>14s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, row in results.items():
+        lines.append(f"{name:14s}{row['ipc']:14.3f}{row['paper_ipc']:14.3f}")
+    return "\n".join(lines)
+
+
+def render_table3(results: dict[str, dict[str, float]]) -> str:
+    """Table III: computed vs published storage (KB = 1000 bytes)."""
+    lines = ["Table III — storage budgets", ""]
+    header = (
+        f"{'config':12s}{'computed KB':>13s}{'paper KB':>11s}"
+        f"{'LVT':>9s}{'VT0':>9s}{'tagged':>9s}{'window':>9s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, row in results.items():
+        lines.append(
+            f"{name:12s}{row['computed_kb']:13.2f}{row['paper_kb']:11.2f}"
+            f"{row['lvt_kb']:9.2f}{row['vt0_kb']:9.2f}"
+            f"{row['tagged_kb']:9.2f}{row['window_kb']:9.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_partial_strides(results: dict[int, dict[str, object]]) -> str:
+    """§VI-B(a): stride width vs performance vs storage."""
+    lines = ["Partial strides (§VI-B-a)", ""]
+    header = f"{'stride bits':>12s}{'gmean':>10s}{'min':>10s}{'storage KB':>12s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for bits, row in results.items():
+        agg = row["aggregate"]
+        lines.append(
+            f"{bits:12d}{agg['gmean']:10.3f}{agg['min']:10.3f}"  # type: ignore[index]
+            f"{row['storage_kb']:12.1f}"
+        )
+    return "\n".join(lines)

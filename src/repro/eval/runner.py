@@ -1,0 +1,139 @@
+"""Shared machinery for running experiment configurations.
+
+The paper simulates 50M warmup + 100M measured instructions per Simpoint
+slice; at Python speed we default to 120K µ-ops with a 40K warmup, which is
+where predictor confidence (FPC needs a couple hundred correct predictions
+per entry) has visibly converged for every workload class.  All experiment
+entry points accept ``uops``/``warmup`` overrides so the benches can run
+smaller and EXPERIMENTS.md runs larger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bebop import (
+    BeBoPEngine,
+    BlockDVTAGE,
+    BlockDVTAGEConfig,
+    RecoveryPolicy,
+    SpeculativeWindow,
+)
+from repro.pipeline import (
+    BASELINE_6_60,
+    PipelineModel,
+    SimStats,
+    baseline_vp_6_60,
+    eole_4_60,
+)
+from repro.pipeline.vp import InstructionVPAdapter
+from repro.predictors import (
+    DVTAGEPredictor,
+    LastValuePredictor,
+    TwoDeltaStridePredictor,
+    ValuePredictor,
+    VTAGE2DStrideHybrid,
+    VTAGEPredictor,
+)
+from repro.workloads import Trace, build_workload, generate_trace
+from repro.workloads.suite import all_workload_names
+
+DEFAULT_TRACE_UOPS = 120_000
+DEFAULT_WARMUP_UOPS = 40_000
+
+#: Trace cache keyed by (workload, uop count) — traces are deterministic.
+_TRACE_CACHE: dict[tuple[str, int], Trace] = {}
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Common knobs of one experiment run."""
+
+    uops: int = DEFAULT_TRACE_UOPS
+    warmup: int = DEFAULT_WARMUP_UOPS
+    workloads: tuple[str, ...] | None = None   # None = the full suite
+
+    def names(self) -> tuple[str, ...]:
+        return self.workloads if self.workloads is not None else all_workload_names()
+
+
+def get_trace(name: str, uops: int = DEFAULT_TRACE_UOPS) -> Trace:
+    """Build (or fetch from cache) the dynamic trace of a workload."""
+    key = (name, uops)
+    if key not in _TRACE_CACHE:
+        kernel = build_workload(name)
+        _TRACE_CACHE[key] = generate_trace(
+            kernel.program, uops, name=name, init_mem=kernel.init_mem
+        )
+    return _TRACE_CACHE[key]
+
+
+def clear_trace_cache() -> None:
+    _TRACE_CACHE.clear()
+
+
+def make_instr_predictor(kind: str, **overrides: object) -> ValuePredictor:
+    """Instruction-based predictor by Fig 5a name."""
+    factories = {
+        "lvp": LastValuePredictor,
+        "2d-stride": TwoDeltaStridePredictor,
+        "vtage": VTAGEPredictor,
+        "vtage-2d-stride": VTAGE2DStrideHybrid,
+        "d-vtage": DVTAGEPredictor,
+    }
+    try:
+        factory = factories[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown predictor kind {kind!r}; known: {', '.join(factories)}"
+        ) from None
+    return factory(**overrides)  # type: ignore[arg-type]
+
+
+def make_bebop_engine(
+    config: BlockDVTAGEConfig | None = None,
+    window: int | None = 32,
+    policy: RecoveryPolicy = RecoveryPolicy.DNRDNR,
+) -> BeBoPEngine:
+    """A BeBoP engine: block D-VTAGE + speculative window + policy.
+
+    ``window`` follows Fig 7b's convention: ``None`` = infinite, ``0`` = no
+    speculative window at all.
+    """
+    predictor = BlockDVTAGE(config if config is not None else BlockDVTAGEConfig())
+    return BeBoPEngine(predictor, SpeculativeWindow(window), policy)
+
+
+def run_baseline(trace: Trace, warmup: int = DEFAULT_WARMUP_UOPS) -> SimStats:
+    """Baseline_6_60: no value prediction."""
+    return PipelineModel(BASELINE_6_60).run(trace, warmup_uops=warmup)
+
+
+def run_instr_vp(
+    trace: Trace,
+    predictor: ValuePredictor,
+    warmup: int = DEFAULT_WARMUP_UOPS,
+) -> SimStats:
+    """Baseline_VP_6_60 with an instruction-based predictor."""
+    model = PipelineModel(baseline_vp_6_60(), InstructionVPAdapter(predictor))
+    return model.run(trace, warmup_uops=warmup)
+
+
+def run_eole_instr_vp(
+    trace: Trace,
+    predictor: ValuePredictor,
+    warmup: int = DEFAULT_WARMUP_UOPS,
+) -> SimStats:
+    """EOLE_4_60 with an instruction-based predictor (Fig 5b)."""
+    model = PipelineModel(eole_4_60(), InstructionVPAdapter(predictor))
+    return model.run(trace, warmup_uops=warmup)
+
+
+def run_bebop_eole(
+    trace: Trace,
+    engine: BeBoPEngine,
+    warmup: int = DEFAULT_WARMUP_UOPS,
+) -> SimStats:
+    """EOLE_4_60 with block-based (BeBoP) value prediction."""
+    model = PipelineModel(eole_4_60(), engine)
+    return model.run(trace, warmup_uops=warmup)

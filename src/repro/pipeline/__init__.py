@@ -1,0 +1,34 @@
+"""Cycle-approximate superscalar pipeline timing model.
+
+This is the substitution for the paper's gem5 setup (DESIGN.md §2): a
+trace-driven timing model that walks the dynamic µ-op trace in program order
+and computes fetch/dispatch/issue/complete/commit timestamps under the
+Table I resource constraints — fetch-block bandwidth, front-end width and
+depth, ROB/IQ/LSQ occupancy, issue width, functional-unit pools, cache and
+DRAM latencies, branch- and value-misprediction squashes.
+
+Entry points:
+
+* :class:`~repro.pipeline.config.CoreConfig` with the named configurations
+  ``BASELINE_6_60``, ``BASELINE_VP_6_60``, ``EOLE_4_60``;
+* :class:`~repro.pipeline.core.PipelineModel` — ``run(trace)`` returns a
+  :class:`~repro.pipeline.stats.SimStats` with IPC and predictor statistics.
+"""
+
+from repro.pipeline.config import (
+    BASELINE_6_60,
+    CoreConfig,
+    baseline_vp_6_60,
+    eole_4_60,
+)
+from repro.pipeline.core import PipelineModel
+from repro.pipeline.stats import SimStats
+
+__all__ = [
+    "CoreConfig",
+    "BASELINE_6_60",
+    "baseline_vp_6_60",
+    "eole_4_60",
+    "PipelineModel",
+    "SimStats",
+]

@@ -1,0 +1,83 @@
+"""Core configurations (Table I of the paper).
+
+``BASELINE_6_60`` is the paper's reference superscalar: 4GHz-class, 8-wide
+front-end, 6-issue, 60-entry IQ, 192-entry ROB, 20-cycle fetch-to-commit.
+``baseline_vp_6_60()`` enables instruction- or block-based value prediction
+with commit-time validation and squash recovery.  ``eole_4_60()`` models the
+EOLE organisation: issue width reduced to 4, with Early Execution (ready
+simple µ-ops execute in parallel with rename) and Late Execution (predicted
+µ-ops bypass the OoO engine and validate at commit).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Resource and depth parameters of the modelled core."""
+
+    name: str = "baseline_6_60"
+    # Front end.
+    fetch_blocks_per_cycle: int = 2
+    fetch_block_bytes: int = 16
+    decode_width: int = 8
+    front_end_depth: int = 15       # fetch -> dispatch, cycles
+    back_end_depth: int = 5         # complete -> commit, cycles
+    # Fetch-buffer + decode-queue capacity in µ-ops: fetch stalls when this
+    # many fetched µ-ops have not yet dispatched (backpressure from a full
+    # ROB/IQ propagates to fetch through it).
+    fetch_queue_uops: int = 48
+    # Out-of-order engine.
+    rob_size: int = 192
+    iq_size: int = 60
+    lq_size: int = 72
+    sq_size: int = 48
+    issue_width: int = 6
+    commit_width: int = 8
+    # Functional units (per-cycle issue bandwidth per class).
+    alu_count: int = 4
+    muldiv_count: int = 1
+    fp_count: int = 2
+    fpmuldiv_count: int = 2
+    load_ports: int = 2
+    store_ports: int = 1
+    div_latency: int = 25           # not pipelined
+    fpdiv_latency: int = 10         # not pipelined
+    # Value prediction plumbing.
+    vp_enabled: bool = False
+    eole: bool = False              # early + late execution, narrow issue
+    free_load_immediates: bool = True   # §II-B3
+    # Branch handling.
+    btb_entries: int = 8192
+
+    def with_(self, **changes: object) -> "CoreConfig":
+        """A modified copy (configs are frozen)."""
+        return dataclasses.replace(self, **changes)
+
+
+#: The paper's reference 6-issue, 60-entry-IQ superscalar without VP.
+BASELINE_6_60 = CoreConfig()
+
+
+def baseline_vp_6_60() -> CoreConfig:
+    """Baseline_VP_6_60: the reference core plus value prediction."""
+    return BASELINE_6_60.with_(name="baseline_vp_6_60", vp_enabled=True)
+
+
+def eole_4_60() -> CoreConfig:
+    """EOLE_4_60: 4-issue EOLE pipeline with value prediction.
+
+    With Late Execution/Validation present, fetch-to-commit is one cycle
+    longer than the VP-less baseline (§V-A) — modelled by one extra
+    back-end stage.
+    """
+    return BASELINE_6_60.with_(
+        name="eole_4_60",
+        issue_width=4,
+        vp_enabled=True,
+        eole=True,
+        back_end_depth=6,
+    )

@@ -1,0 +1,468 @@
+"""Trace-driven superscalar timing model.
+
+The model walks the dynamic µ-op trace in program order, computing per µ-op
+the cycle of every pipeline event under the Table I resource constraints:
+
+``fetch``
+    Up to two 16-byte blocks per cycle, over at most one taken branch;
+    I-cache misses stall the front end; redirects (branch mispredictions at
+    execute, BTB misses at decode, value-misprediction squashes at commit)
+    set a fetch barrier.
+``dispatch``
+    ``front_end_depth`` cycles after the block is available, 8 µ-ops/cycle,
+    bounded by ROB/IQ/LQ/SQ occupancy.
+``issue/execute``
+    Dependence-driven: a µ-op issues once its operands are available, an
+    issue slot (``issue_width``/cycle) and a functional unit are free.
+    Correctly *used* value predictions make the producer's result available
+    to consumers at the producer's dispatch (the prediction is written to
+    the PRF by then), which is the entire performance upside of VP.
+``commit``
+    In order, 8 wide, ``back_end_depth`` cycles after completion.  Value
+    predictions are validated here; a wrong used prediction squashes
+    everything younger (the paper's low-complexity recovery) and refetches
+    from the next instruction — including the Bnew == Bflush same-block
+    refetch that exercises the BeBoP recovery policies.
+
+With ``config.eole``: µ-ops whose operands are ready at rename and that
+execute in one cycle are Early Executed (no IQ/issue slot); confidently
+predicted µ-ops are Late Executed (validated just before commit, never
+issued), which is what lets EOLE drop the issue width from 6 to 4.
+
+Predictor *training* is deferred to commit time via the adapters, so the
+predictor never observes a result younger than the fetch being predicted.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.tage import TAGEBranchPredictor
+from repro.common.history import GlobalHistory
+from repro.isa.instruction import DynMicroOp, LatencyClass
+from repro.pipeline.caches import MemoryHierarchy
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.stats import SimStats
+from repro.pipeline.vp import GroupHandle, VPAdapter
+from repro.predictors.base import HistoryState
+from repro.workloads.trace import Trace
+
+#: Fixed execution latencies per FU class (loads come from the cache model).
+_LATENCY = {
+    LatencyClass.ALU: 1,
+    LatencyClass.MUL: 3,
+    LatencyClass.DIV: 25,
+    LatencyClass.FP: 3,
+    LatencyClass.FPMUL: 5,
+    LatencyClass.FPDIV: 10,
+    LatencyClass.BRANCH: 1,
+    LatencyClass.NONE: 1,
+    LatencyClass.MEM: 1,  # overridden by the cache model for loads
+}
+
+#: Classes that EOLE's Early Execution stage can handle (single-cycle ALU).
+_EARLY_EXECUTABLE = frozenset({LatencyClass.ALU, LatencyClass.NONE})
+
+
+def group_block_instances(uops: list[DynMicroOp]) -> list[tuple[int, int]]:
+    """Split the trace into fetch-block instances: ``[start, end)`` runs of
+    µ-ops sharing a block PC, broken after every taken branch."""
+    groups: list[tuple[int, int]] = []
+    start = 0
+    n = len(uops)
+    for i in range(n):
+        uop = uops[i]
+        end_here = (
+            i + 1 >= n
+            or (uop.is_branch and uop.branch_taken)
+            or uops[i + 1].block_pc != uop.block_pc
+        )
+        if end_here:
+            groups.append((start, i + 1))
+            start = i + 1
+    return groups
+
+
+class PipelineModel:
+    """One simulated core; ``run`` executes a trace and returns stats."""
+
+    def __init__(
+        self,
+        config: CoreConfig,
+        vp_adapter: VPAdapter | None = None,
+        branch_predictor: TAGEBranchPredictor | None = None,
+        memory: MemoryHierarchy | None = None,
+    ) -> None:
+        if config.vp_enabled and vp_adapter is None:
+            raise ValueError(f"config {config.name!r} enables VP: pass a vp_adapter")
+        self.config = config
+        self.vp = vp_adapter if config.vp_enabled else None
+        self.branch_predictor = (
+            branch_predictor if branch_predictor is not None else TAGEBranchPredictor()
+        )
+        self.btb = BranchTargetBuffer(config.btb_entries)
+        self.memory = memory if memory is not None else MemoryHierarchy()
+        self.bhist = GlobalHistory(640)
+        self.phist = GlobalHistory(64)
+
+    # -- the main walk -------------------------------------------------------
+
+    def run(
+        self,
+        trace: Trace,
+        warmup_uops: int = 0,
+        timeline: list | None = None,
+    ) -> SimStats:
+        """Simulate a trace; statistics cover µ-ops after ``warmup_uops``.
+
+        When ``timeline`` is a list, one ``(seq, pc, dispatch, complete,
+        commit)`` tuple per processed µ-op is appended — used by tests and
+        examples to inspect the schedule directly.
+        """
+        cfg = self.config
+        uops = trace.uops
+        stats = SimStats(workload=trace.name, config=cfg.name)
+        if not uops:
+            return stats
+
+        groups = group_block_instances(uops)
+        # --- machine state ---------------------------------------------------
+        fetch_cycle = 0
+        blocks_in_cycle = 0
+        taken_in_cycle = 0
+        next_fetch_min = 0
+        last_dispatch = 0
+        dispatch_cnt: dict[int, int] = defaultdict(int)
+        issue_cnt: dict[int, int] = defaultdict(int)
+        fu_cnt: dict[tuple[int, LatencyClass], int] = defaultdict(int)
+        div_free = 0            # the single MulDiv unit, not pipelined for DIV
+        fpdiv_free = 0          # FPMulDiv units, not pipelined for FPDIV
+        last_commit = 0
+        commit_cnt: dict[int, int] = defaultdict(int)
+        rob_commits: list[int] = []     # commit cycle per dispatched µ-op
+        dispatch_cycles: list[int] = [] # dispatch cycle per µ-op (fetch-queue
+                                        # backpressure reads it FQ µ-ops back)
+        iq_issues: list[int] = []       # issue cycle per IQ-entering µ-op
+        lq_completes: list[int] = []
+        sq_completes: list[int] = []
+        reg_avail: dict[int, int] = {}
+        store_ready: dict[int, int] = {}
+        deferred_bp: deque = deque()    # (apply_cycle, pc, hist, taken, meta)
+
+        # FU issue-bandwidth pools per class.
+        fu_pool = {
+            LatencyClass.ALU: cfg.alu_count,
+            LatencyClass.BRANCH: cfg.alu_count,
+            LatencyClass.MUL: cfg.muldiv_count,
+            LatencyClass.FP: cfg.fp_count,
+            LatencyClass.FPMUL: cfg.fpmuldiv_count,
+            LatencyClass.NONE: cfg.alu_count,
+        }
+
+        # Warmup bookkeeping.
+        measuring = warmup_uops == 0
+        base_cycle = 0
+        uop_index = 0
+
+        def start_measuring() -> None:
+            nonlocal measuring, base_cycle
+            measuring = True
+            base_cycle = last_commit
+
+        def apply_deferred_bp(cycle: int) -> None:
+            bp = self.branch_predictor
+            while deferred_bp and deferred_bp[0][0] <= cycle:
+                _, pc, hist, taken, meta = deferred_bp.popleft()
+                bp.train(pc, hist, taken, meta)
+
+        gi = 0
+        pending_refetch: tuple[list[DynMicroOp], GroupHandle] | None = None
+        reuse_next_group: GroupHandle | None = None
+        reuse_block_pc = -1
+
+        while gi < len(groups) or pending_refetch is not None:
+            if pending_refetch is not None:
+                guops, reuse = pending_refetch
+                pending_refetch = None
+            else:
+                start, end = groups[gi]
+                gi += 1
+                guops = uops[start:end]
+                reuse = None
+                if reuse_next_group is not None:
+                    if guops[0].block_pc == reuse_block_pc:
+                        reuse = reuse_next_group
+                    reuse_next_group = None
+
+            block_pc = guops[0].block_pc
+
+            # ---- fetch ------------------------------------------------------
+            c = max(fetch_cycle, next_fetch_min)
+            # Fetch-queue backpressure: this block's first µ-op can only be
+            # fetched once the µ-op fetch_queue_uops earlier has dispatched.
+            n_before = len(dispatch_cycles)
+            if n_before >= cfg.fetch_queue_uops:
+                c = max(c, dispatch_cycles[n_before - cfg.fetch_queue_uops])
+            if c > fetch_cycle:
+                fetch_cycle = c
+                blocks_in_cycle = 0
+                taken_in_cycle = 0
+            if blocks_in_cycle >= cfg.fetch_blocks_per_cycle:
+                fetch_cycle += 1
+                blocks_in_cycle = 0
+                taken_in_cycle = 0
+            ifetch_lat = self.memory.ifetch_latency(block_pc)
+            block_avail = fetch_cycle + ifetch_lat - 1
+            blocks_in_cycle += 1
+            if ifetch_lat > 1:
+                # An I-cache miss stalls fetch until the block arrives.
+                fetch_cycle = block_avail
+                blocks_in_cycle = 1
+                taken_in_cycle = 0
+
+            # ---- value prediction (block granularity) -----------------------
+            hist = HistoryState(self.bhist.value(), self.phist.value())
+            handle: GroupHandle | None = None
+            if self.vp is not None:
+                handle = self.vp.fetch_group(guops, fetch_cycle, hist, reuse)
+
+            group_broken = False
+            for k, uop in enumerate(guops):
+                pred = handle.preds[k] if handle is not None else None
+                predicted_used = pred is not None and pred.confident
+                eligible = uop.is_vp_eligible
+
+                # ---- dispatch ------------------------------------------------
+                d = max(block_avail + cfg.front_end_depth, last_dispatch)
+                while dispatch_cnt[d] >= cfg.decode_width:
+                    d += 1
+                n_disp = len(rob_commits)
+                if n_disp >= cfg.rob_size:
+                    d = max(d, rob_commits[n_disp - cfg.rob_size] + 1)
+                if uop.is_load and len(lq_completes) >= cfg.lq_size:
+                    d = max(d, lq_completes[len(lq_completes) - cfg.lq_size])
+                if uop.is_store and len(sq_completes) >= cfg.sq_size:
+                    d = max(d, sq_completes[len(sq_completes) - cfg.sq_size])
+
+                srcs_ready = 0
+                for src in uop.srcs:
+                    t = reg_avail.get(src, 0)
+                    if t > srcs_ready:
+                        srcs_ready = t
+
+                free_li = (
+                    cfg.free_load_immediates and uop.is_load_imm and not cfg.eole
+                )
+                # Early Execution is a single stage in parallel with rename
+                # (§V-A): operands must already be in the PRF *before* this
+                # µ-op dispatches, so same-cycle chains of early-executed
+                # µ-ops are not allowed (strict <).
+                eole_early = (
+                    cfg.eole
+                    and uop.latency_class in _EARLY_EXECUTABLE
+                    and not uop.is_load
+                    and not uop.is_store
+                    and srcs_ready < d
+                )
+                eole_late = (
+                    cfg.eole
+                    and predicted_used
+                    and uop.latency_class in _EARLY_EXECUTABLE
+                    and not uop.is_load
+                    and not uop.is_store
+                )
+                if cfg.eole and uop.is_load_imm:
+                    eole_early = True
+
+                bypass_ooo = free_li or eole_early or eole_late
+                if not bypass_ooo:
+                    n_iq = len(iq_issues)
+                    if n_iq >= cfg.iq_size:
+                        d = max(d, iq_issues[n_iq - cfg.iq_size])
+                    while dispatch_cnt[d] >= cfg.decode_width:
+                        d += 1
+                dispatch_cnt[d] += 1
+                last_dispatch = d
+                dispatch_cycles.append(d)
+
+                # ---- execute -------------------------------------------------
+                if free_li or eole_early:
+                    complete = d
+                    if measuring and eole_early:
+                        stats.early_executed += 1
+                elif eole_late:
+                    # Validated/executed just before commit; consumers read
+                    # the predicted value from the PRF at dispatch.
+                    complete = d
+                    if measuring:
+                        stats.late_executed += 1
+                else:
+                    ready = max(d + 1, srcs_ready)
+                    lat_class = uop.latency_class
+                    if uop.is_load and uop.mem_addr is not None:
+                        t = store_ready.get(uop.mem_addr, 0)
+                        if t > ready:
+                            ready = t
+                    c2 = ready
+                    if lat_class is LatencyClass.DIV:
+                        c2 = max(c2, div_free)
+                        while issue_cnt[c2] >= cfg.issue_width:
+                            c2 += 1
+                        lat = _LATENCY[lat_class]
+                        div_free = c2 + lat
+                    elif lat_class is LatencyClass.FPDIV:
+                        c2 = max(c2, fpdiv_free)
+                        while issue_cnt[c2] >= cfg.issue_width:
+                            c2 += 1
+                        lat = _LATENCY[lat_class]
+                        fpdiv_free = c2 + lat
+                    elif lat_class is LatencyClass.MEM:
+                        ports = cfg.load_ports if uop.is_load else cfg.store_ports
+                        while (
+                            issue_cnt[c2] >= cfg.issue_width
+                            or fu_cnt[(c2, lat_class)] >= ports
+                        ):
+                            c2 += 1
+                        fu_cnt[(c2, lat_class)] += 1
+                        if uop.is_load:
+                            lat = self.memory.load_latency(uop.mem_addr or 0)
+                        else:
+                            lat = 1
+                    else:
+                        pool = fu_pool[lat_class]
+                        while (
+                            issue_cnt[c2] >= cfg.issue_width
+                            or fu_cnt[(c2, lat_class)] >= pool
+                        ):
+                            c2 += 1
+                        fu_cnt[(c2, lat_class)] += 1
+                        lat = _LATENCY[lat_class]
+                    issue_cnt[c2] += 1
+                    iq_issues.append(c2)
+                    complete = c2 + lat
+
+                if uop.is_load:
+                    lq_completes.append(complete)
+                if uop.is_store:
+                    sq_completes.append(complete)
+                    if uop.mem_addr is not None:
+                        store_ready[uop.mem_addr] = complete
+
+                # ---- destination availability --------------------------------
+                if uop.dest is not None:
+                    if predicted_used or free_li or (cfg.eole and uop.is_load_imm):
+                        reg_avail[uop.dest] = d
+                    else:
+                        reg_avail[uop.dest] = complete
+
+                if handle is not None and uop.is_vp_eligible:
+                    self.vp.result_uop(handle, k, uop, complete)
+
+                # ---- branches -------------------------------------------------
+                mispredicted_branch = False
+                if uop.is_branch:
+                    if uop.is_cond_branch:
+                        apply_deferred_bp(fetch_cycle)
+                        bp_hist = HistoryState(self.bhist.value(), self.phist.value())
+                        pred_taken, bmeta = self.branch_predictor.predict(
+                            uop.pc, bp_hist
+                        )
+                        mispredicted_branch = pred_taken != uop.branch_taken
+                        if measuring:
+                            stats.branches += 1
+                    btb_miss = False
+                    if uop.branch_taken:
+                        target = self.btb.lookup(uop.pc)
+                        if target != uop.branch_target:
+                            btb_miss = True
+                            self.btb.install(uop.pc, uop.branch_target)
+                    if uop.is_cond_branch:
+                        self.bhist.push_outcome(uop.branch_taken)
+                    if uop.branch_taken:
+                        self.phist.push_path(uop.branch_target)
+
+                # ---- commit ----------------------------------------------------
+                cc = max(complete + cfg.back_end_depth, last_commit)
+                while commit_cnt[cc] >= cfg.commit_width:
+                    cc += 1
+                commit_cnt[cc] += 1
+                last_commit = cc
+                rob_commits.append(cc)
+
+                if uop.is_cond_branch:
+                    deferred_bp.append(
+                        (cc + 1, uop.pc, bp_hist, uop.branch_taken, bmeta)
+                    )
+                    if mispredicted_branch:
+                        if measuring:
+                            stats.branch_mispredicts += 1
+                        next_fetch_min = max(next_fetch_min, complete + 1)
+                        if self.vp is not None:
+                            self.vp.branch_squash(uop.seq, complete)
+                elif uop.is_branch and uop.branch_taken:
+                    if btb_miss:
+                        if measuring:
+                            stats.btb_misses += 1
+                        next_fetch_min = max(next_fetch_min, block_avail + 2)
+
+                if timeline is not None:
+                    timeline.append((uop.seq, uop.pc, d, complete, cc))
+
+                # ---- VP validation at commit -----------------------------------
+                if handle is not None:
+                    self.vp.commit_uop(handle, k, uop, cc)
+                if measuring and eligible:
+                    stats.vp_eligible += 1
+                    if pred is not None:
+                        stats.vp_predicted += 1
+                if predicted_used and eligible and uop.value is not None:
+                    correct = pred.value == uop.value
+                    if measuring:
+                        stats.vp_used += 1
+                        if correct:
+                            stats.vp_used_correct += 1
+                    if not correct:
+                        # Commit-time squash: everything younger refetches.
+                        if measuring:
+                            stats.vp_squashes += 1
+                        reg_avail[uop.dest] = cc
+                        next_fetch_min = max(next_fetch_min, cc + 1)
+                        remainder = guops[k + 1:]
+                        if remainder:
+                            next_block_pc = remainder[0].block_pc
+                        elif gi < len(groups):
+                            next_block_pc = uops[groups[gi][0]].block_pc
+                        else:
+                            next_block_pc = None
+                        if self.vp is not None:
+                            self.vp.vp_squash(handle, uop.seq, next_block_pc, cc)
+                        if remainder:
+                            # Same-block refetch: the Bnew == Bflush case.
+                            pending_refetch = (remainder, handle)
+                            group_broken = True
+                        elif (
+                            next_block_pc is not None
+                            and next_block_pc == uop.block_pc
+                        ):
+                            reuse_next_group = handle
+                            reuse_block_pc = next_block_pc
+                        if group_broken:
+                            break
+
+                # ---- stats -----------------------------------------------------
+                uop_index += 1
+                if measuring:
+                    stats.uops += 1
+                    if uop.is_last_uop:
+                        stats.insts += 1
+                elif uop_index >= warmup_uops:
+                    start_measuring()
+
+            if handle is not None and not group_broken:
+                self.vp.finish_group(handle, last_commit)
+
+        stats.cycles = max(1, last_commit - base_cycle)
+        stats.l1d_misses = self.memory.l1d.misses
+        stats.l2_misses = self.memory.l2.misses
+        return stats

@@ -1,0 +1,49 @@
+"""Value predictors (instruction-based).
+
+This package implements every predictor the paper evaluates or compares
+against at the *instruction* granularity (Fig 5a), plus the FCM family from
+related work:
+
+* :class:`~repro.predictors.last_value.LastValuePredictor` — tagged LVP;
+* :class:`~repro.predictors.stride.StridePredictor` — baseline stride
+  (Eickemeyer & Vassiliadis);
+* :class:`~repro.predictors.stride.TwoDeltaStridePredictor` — 2-delta stride;
+* :class:`~repro.predictors.fcm.FCMPredictor` / ``DFCMPredictor`` — order-n
+  (differential) finite context method (Sazeides & Smith; Goeman et al.);
+* :class:`~repro.predictors.vtage.VTAGEPredictor` — the HPCA 2014 VTAGE;
+* :class:`~repro.predictors.hybrid.VTAGE2DStrideHybrid` — the naive
+  VTAGE + 2-delta-stride hybrid D-VTAGE is compared against;
+* :class:`~repro.predictors.perpath.PerPathStridePredictor` — Nakra et
+  al.'s Per-Path Stride, the per-history-stride precursor of D-VTAGE;
+* :class:`~repro.predictors.dvtage.DVTAGEPredictor` — this paper's
+  Differential VTAGE.
+
+The block-based (BeBoP) machinery lives in :mod:`repro.bebop`.
+"""
+
+from repro.predictors.base import HistoryState, Prediction, ValuePredictor
+from repro.predictors.confidence import FPCPolicy, PAPER_FPC_PROBABILITIES
+from repro.predictors.last_value import LastValuePredictor
+from repro.predictors.stride import StridePredictor, TwoDeltaStridePredictor
+from repro.predictors.fcm import DFCMPredictor, FCMPredictor
+from repro.predictors.vtage import VTAGEPredictor
+from repro.predictors.hybrid import VTAGE2DStrideHybrid
+from repro.predictors.perpath import PerPathStridePredictor
+from repro.predictors.dvtage import DVTAGEPredictor
+
+__all__ = [
+    "HistoryState",
+    "Prediction",
+    "ValuePredictor",
+    "FPCPolicy",
+    "PAPER_FPC_PROBABILITIES",
+    "LastValuePredictor",
+    "StridePredictor",
+    "TwoDeltaStridePredictor",
+    "FCMPredictor",
+    "DFCMPredictor",
+    "VTAGEPredictor",
+    "VTAGE2DStrideHybrid",
+    "PerPathStridePredictor",
+    "DVTAGEPredictor",
+]

@@ -1,0 +1,152 @@
+"""Common interface and index hashing for value predictors.
+
+All instruction-based predictors implement :class:`ValuePredictor`:
+
+* :meth:`~ValuePredictor.predict` is called at fetch with the µ-op's PC, its
+  index inside the parent instruction (the paper XORs it into the index so
+  that the µ-ops of one x86 instruction map to different entries, §V-B) and
+  the global history captured at fetch;
+* :meth:`~ValuePredictor.train` is called at commit with the same
+  information plus the actual result;
+* :meth:`~ValuePredictor.squash` is called on pipeline flushes so predictors
+  with speculative state (stride-based ones) can resynchronise.
+
+``predict`` always returns a :class:`Prediction` when the structure produced
+a value, with ``confident`` saying whether the pipeline may actually *use*
+it; training needs the prediction even when it was not used.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import NamedTuple
+
+from repro.common.bits import fold_bits, mask
+
+
+class HistoryState(NamedTuple):
+    """Snapshot of the global histories at prediction time.
+
+    ``branch`` holds the most recent global branch outcome bits, ``path``
+    the low-order target-address path history.  The pipeline snapshots both
+    at fetch and replays them at train time so a predictor never observes a
+    history newer than its own prediction.
+    """
+
+    branch: int = 0
+    path: int = 0
+
+
+class Prediction:
+    """A value prediction plus the bookkeeping its producer needs at train.
+
+    ``provider`` identifies the component that produced the value (predictor
+    specific; VTAGE-family uses 0 for the base component and ``i + 1`` for
+    tagged component ``i``).  ``meta`` is opaque to the pipeline.
+    """
+
+    __slots__ = ("value", "confident", "provider", "meta")
+
+    def __init__(
+        self,
+        value: int,
+        confident: bool,
+        provider: int = 0,
+        meta: object = None,
+    ) -> None:
+        self.value = value
+        self.confident = confident
+        self.provider = provider
+        self.meta = meta
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Prediction(value={self.value:#x}, confident={self.confident}, "
+            f"provider={self.provider})"
+        )
+
+
+class ValuePredictor(abc.ABC):
+    """Abstract instruction-based value predictor."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def predict(
+        self, pc: int, uop_index: int, hist: HistoryState
+    ) -> Prediction | None:
+        """Produce a prediction for the µ-op, or None if the structure has
+        nothing for it (e.g. tag miss on every component of a tagged LVP)."""
+
+    @abc.abstractmethod
+    def train(
+        self,
+        pc: int,
+        uop_index: int,
+        hist: HistoryState,
+        actual: int,
+        prediction: Prediction | None,
+    ) -> None:
+        """Update with the committed result.
+
+        ``hist`` and ``prediction`` must be the ones captured at fetch for
+        this dynamic µ-op.
+        """
+
+    def squash(self, surviving: dict[tuple[int, int], int] | None = None) -> None:
+        """Repair speculative state after a pipeline flush.
+
+        ``surviving`` maps ``(pc, uop_index)`` to the number of instances
+        that are older than the flush point and still in flight — the
+        checkpoint the paper's third contribution provides in hardware
+        (§IV): in-flight tracking is restored to exactly the survivors.
+        Default is a no-op: purely non-speculative predictors (LVP, VTAGE)
+        have nothing to repair.
+        """
+
+    @abc.abstractmethod
+    def storage_bits(self) -> int:
+        """Total storage of the structure in bits (for budget reporting)."""
+
+    def storage_kb(self) -> float:
+        """Storage in the paper's KB (1 KB = 1000 bytes, see DESIGN.md)."""
+        return self.storage_bits() / 8 / 1000
+
+
+def mix_pc(pc: int, uop_index: int) -> int:
+    """Combine an instruction PC with the µ-op index (paper §V-B).
+
+    XORing the index into the low PC bits separates the entries of multi-µ-op
+    instructions while keeping the mapping trivially invertible in hardware.
+    """
+    return pc ^ uop_index
+
+
+def table_index(key: int, index_bits: int) -> int:
+    """Direct-mapped index: fold the whole key down to ``index_bits``."""
+    return fold_bits(key, 64, index_bits)
+
+
+def tagged_index(
+    key: int, hist: HistoryState, hist_length: int, index_bits: int
+) -> int:
+    """TAGE-style index hash of PC, folded branch history and path history."""
+    h = fold_bits(hist.branch & mask(hist_length), hist_length, index_bits)
+    p = fold_bits(hist.path & mask(min(hist_length, 16)), 16, index_bits)
+    return (
+        table_index(key, index_bits)
+        ^ h
+        ^ p
+        ^ ((key >> index_bits) & mask(index_bits))
+    ) & mask(index_bits)
+
+
+def tagged_tag(key: int, hist: HistoryState, hist_length: int, tag_bits: int) -> int:
+    """TAGE-style partial tag hash.
+
+    Uses a different folding phase than the index so that index and tag are
+    decorrelated, as in TAGE implementations.
+    """
+    h = fold_bits(hist.branch & mask(hist_length), hist_length, tag_bits)
+    h2 = fold_bits(hist.branch & mask(hist_length), hist_length, tag_bits - 1) << 1
+    return (fold_bits(key * 0x9E3779B9, 64, tag_bits) ^ h ^ h2) & mask(tag_bits)

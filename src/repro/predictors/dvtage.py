@@ -1,0 +1,341 @@
+"""The Differential VTAGE predictor, instruction-based (paper §III).
+
+D-VTAGE keeps VTAGE's component structure but stores *strides* instead of
+full values: prediction = last value + stride selected by the TAGE match.
+The base component is a baseline stride predictor split into
+
+* the **Last Value Table** (LVT): committed last values with small partial
+  tags (5 bits by default, §V-B), and
+* **VT0**: the base strides with their confidence counters;
+
+the ``n`` partially tagged components hold strides + confidence + a
+usefulness bit.  Because the predictor is computational it needs speculative
+last values for in-flight instances; this instruction-based version uses the
+idealised per-entry instance counting of
+:class:`~repro.predictors.stride.StridePredictor`, while the realistic
+block-based speculative window lives in :mod:`repro.bebop`.
+
+This class backs the Fig 5a/5b "D-VTAGE" configuration; the block-based
+BeBoP version (:class:`repro.bebop.predictor.BlockDVTAGE`) reuses its
+allocation logic at the block granularity.
+"""
+
+from __future__ import annotations
+
+from repro.common.bits import mask, to_signed, to_unsigned
+from repro.common.rng import XorShift64
+from repro.predictors.base import (
+    HistoryState,
+    Prediction,
+    ValuePredictor,
+    mix_pc,
+    table_index,
+    tagged_index,
+    tagged_tag,
+)
+from repro.predictors.confidence import FPCPolicy
+from repro.predictors.vtage import geometric_history_lengths
+
+
+class _LVTEntry:
+    __slots__ = ("tag", "valid", "last", "inflight")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.valid = False     # last value observed at least once
+        self.last = 0
+        self.inflight = 0      # in-flight instances (speculative history)
+
+
+class _StrideEntry:
+    """A VT0 or tagged-component entry: stride + confidence (+tag/useful)."""
+
+    __slots__ = ("tag", "stride", "conf", "useful")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.stride = 0
+        self.conf = 0
+        self.useful = 0
+
+
+class _TrainMeta:
+    __slots__ = ("provider", "index", "tag", "alt_stride", "last_used", "conf")
+
+    def __init__(
+        self,
+        provider: int,
+        index: int,
+        tag: int,
+        alt_stride: int,
+        last_used: int,
+        conf: int,
+    ) -> None:
+        self.provider = provider
+        self.index = index
+        self.tag = tag
+        self.alt_stride = alt_stride
+        self.last_used = last_used     # the last value the adder consumed
+        self.conf = conf               # provider confidence at predict time
+
+
+class DVTAGEPredictor(ValuePredictor):
+    """1 + n component Differential VTAGE (instruction-based).
+
+    Defaults transpose the paper's VTAGE configuration (§V-B): an 8K-entry
+    base (LVT + VT0) and six 1K-entry tagged components, 13..18-bit tags,
+    2..64-bit geometric histories, 3-bit FPC, 64-bit strides unless narrowed.
+    """
+
+    name = "d-vtage"
+
+    def __init__(
+        self,
+        base_entries: int = 8192,
+        tagged_entries: int = 1024,
+        components: int = 6,
+        first_tag_bits: int = 13,
+        lvt_tag_bits: int = 5,
+        stride_bits: int = 64,
+        min_history: int = 2,
+        max_history: int = 64,
+        fpc: FPCPolicy | None = None,
+        useful_reset_period: int = 8192,
+        propagate_confidence: bool = False,
+        seed: int = 0xD7A6E,
+    ) -> None:
+        for n, what in ((base_entries, "base"), (tagged_entries, "tagged")):
+            if n <= 0 or n & (n - 1):
+                raise ValueError(f"{what} entry count must be a power of two, got {n}")
+        self.base_entries = base_entries
+        self.tagged_entries = tagged_entries
+        self.components = components
+        self.base_index_bits = base_entries.bit_length() - 1
+        self.tagged_index_bits = tagged_entries.bit_length() - 1
+        self.tag_bits = tuple(first_tag_bits + i for i in range(components))
+        self.lvt_tag_bits = lvt_tag_bits
+        self.stride_bits = stride_bits
+        self.history_lengths = geometric_history_lengths(
+            components, min_history, max_history
+        )
+        self.fpc = fpc if fpc is not None else FPCPolicy()
+        self.propagate_confidence = propagate_confidence
+        self._lvt = [_LVTEntry() for _ in range(base_entries)]
+        self._vt0 = [_StrideEntry() for _ in range(base_entries)]
+        self._tagged = [
+            [_StrideEntry() for _ in range(tagged_entries)]
+            for _ in range(components)
+        ]
+        self._rng = XorShift64(seed)
+        self._useful_reset_period = useful_reset_period
+        self._updates_since_reset = 0
+        self._spec_dirty: set[int] = set()
+
+    # -- lookups -----------------------------------------------------------
+
+    def _lvt_slot(self, key: int) -> tuple[_LVTEntry, int, int]:
+        index = table_index(key, self.base_index_bits)
+        tag = (key >> self.base_index_bits) & mask(self.lvt_tag_bits)
+        return self._lvt[index], index, tag
+
+    def _component_slot(
+        self, comp: int, key: int, hist: HistoryState
+    ) -> tuple[int, int]:
+        length = self.history_lengths[comp]
+        index = tagged_index(key, hist, length, self.tagged_index_bits)
+        tag = tagged_tag(key, hist, length, self.tag_bits[comp])
+        return index, tag
+
+    def _select_stride(
+        self, key: int, hist: HistoryState
+    ) -> tuple[int, int, int, int, int]:
+        """Pick the providing stride.
+
+        Returns (provider, index, tag, stride, conf) with provider 0 for VT0
+        and ``comp + 1`` for tagged component ``comp``; ``alt`` handling is
+        done by the caller.
+        """
+        hits = []
+        for comp in range(self.components):
+            index, tag = self._component_slot(comp, key, hist)
+            if self._tagged[comp][index].tag == tag:
+                hits.append((comp, index, tag))
+        if hits:
+            comp, index, tag = hits[-1]
+            entry = self._tagged[comp][index]
+            if len(hits) > 1:
+                alt_comp, alt_index, _ = hits[-2]
+                alt_stride = self._tagged[alt_comp][alt_index].stride
+            else:
+                alt_stride = self._vt0[table_index(key, self.base_index_bits)].stride
+            return comp + 1, index, tag, alt_stride, 0
+        index = table_index(key, self.base_index_bits)
+        entry = self._vt0[index]
+        return 0, index, 0, entry.stride, 0
+
+    def _stride_value(self, stored: int) -> int:
+        """Sign-extend a stored (possibly partial) stride for the adder."""
+        return to_signed(stored, self.stride_bits)
+
+    # -- prediction ---------------------------------------------------------
+
+    def predict(
+        self, pc: int, uop_index: int, hist: HistoryState
+    ) -> Prediction | None:
+        key = mix_pc(pc, uop_index)
+        lvt, lvt_index, lvt_tag = self._lvt_slot(key)
+        if lvt.tag != lvt_tag:
+            # Claim the LVT entry at fetch so in-flight instances are
+            # counted from the first one; the base strides are retrained.
+            lvt.tag = lvt_tag
+            lvt.valid = False
+            lvt.inflight = 1
+            vt0 = self._vt0[table_index(key, self.base_index_bits)]
+            vt0.stride = 0
+            vt0.conf = 0
+            self._spec_dirty.add(lvt_index)
+            return None
+        lvt.inflight += 1
+        self._spec_dirty.add(lvt_index)
+        if not lvt.valid:
+            # Still waiting for the first commit of this instruction.
+            return None
+        provider, index, tag, alt_stride, _ = self._select_stride(key, hist)
+        if provider == 0:
+            entry = self._vt0[index]
+        else:
+            entry = self._tagged[provider - 1][index]
+        # Idealistic instruction-level speculative history: with k older
+        # instances in flight this instance is last + (k+1)*stride (instance
+        # counting); the realistic chained-value alternative is the BeBoP
+        # speculative window of repro.bebop.
+        stride = self._stride_value(entry.stride)
+        value = to_unsigned(lvt.last + stride * lvt.inflight, 64)
+        return Prediction(
+            value,
+            self.fpc.is_confident(entry.conf),
+            provider=provider,
+            meta=_TrainMeta(provider, index, tag, alt_stride, lvt.last, entry.conf),
+        )
+
+    # -- training -----------------------------------------------------------
+
+    def train(
+        self,
+        pc: int,
+        uop_index: int,
+        hist: HistoryState,
+        actual: int,
+        prediction: Prediction | None,
+    ) -> None:
+        key = mix_pc(pc, uop_index)
+        lvt, lvt_index, lvt_tag = self._lvt_slot(key)
+        if lvt.tag != lvt_tag:
+            # Entry re-claimed by another instruction at fetch; drop the
+            # stale update.
+            return
+        if lvt.inflight > 0:
+            lvt.inflight -= 1
+        if prediction is None or not isinstance(prediction.meta, _TrainMeta):
+            # LVT was claimed but had no valid last value at predict time:
+            # the first committed result initialises it.
+            lvt.valid = True
+            lvt.last = actual
+            if lvt.inflight == 0:
+                self._spec_dirty.discard(lvt_index)
+            return
+        meta: _TrainMeta = prediction.meta
+        correct = prediction.value == actual
+        observed_stride = to_unsigned(
+            to_signed(actual - lvt.last, self.stride_bits), self.stride_bits
+        )
+
+        if meta.provider == 0:
+            entry = self._vt0[meta.index]
+            if correct:
+                entry.conf = self.fpc.advance(entry.conf)
+            else:
+                entry.conf = self.fpc.reset_level()
+                entry.stride = observed_stride
+        else:
+            comp = meta.provider - 1
+            entry = self._tagged[comp][meta.index]
+            if entry.tag == meta.tag:
+                if correct:
+                    entry.conf = self.fpc.advance(entry.conf)
+                    entry.useful = 1 if meta.alt_stride != entry.stride else 0
+                else:
+                    entry.conf = self.fpc.reset_level()
+                    entry.stride = observed_stride
+                    entry.useful = 0
+        if not correct:
+            self._allocate(key, hist, meta.provider, observed_stride, meta.conf)
+        # The LVT always tracks committed last values.
+        lvt.last = actual
+        if lvt.inflight == 0:
+            self._spec_dirty.discard(lvt_index)
+        self._tick_useful_reset()
+
+    def _allocate(
+        self,
+        key: int,
+        hist: HistoryState,
+        provider: int,
+        stride: int,
+        provider_conf: int,
+    ) -> None:
+        candidates = []
+        slots = []
+        for comp in range(provider, self.components):
+            index, tag = self._component_slot(comp, key, hist)
+            slots.append((comp, index, tag))
+            if self._tagged[comp][index].useful == 0:
+                candidates.append((comp, index, tag))
+        if not candidates:
+            for comp, index, _tag in slots:
+                self._tagged[comp][index].useful = 0
+            return
+        comp, index, tag = candidates[self._rng.next_below(len(candidates))]
+        entry = self._tagged[comp][index]
+        entry.tag = tag
+        entry.stride = stride
+        # §III-D-b's confidence propagation pays off at the *block* level
+        # (correct slots of a partially wrong block keep their confidence);
+        # at the instruction level the allocated prediction was wrong, so
+        # propagation is off by default and ablatable.
+        entry.conf = provider_conf if self.propagate_confidence else 0
+        entry.useful = 0
+
+    def _tick_useful_reset(self) -> None:
+        self._updates_since_reset += 1
+        if self._updates_since_reset >= self._useful_reset_period:
+            self._updates_since_reset = 0
+            for component in self._tagged:
+                for entry in component:
+                    entry.useful = 0
+
+    def squash(self, surviving: dict[tuple[int, int], int] | None = None) -> None:
+        """Flush repair: restore in-flight counts from the checkpoint (see
+        :meth:`repro.predictors.stride._BaseStride.squash`)."""
+        for index in self._spec_dirty:
+            self._lvt[index].inflight = 0
+        self._spec_dirty.clear()
+        if not surviving:
+            return
+        for (pc, uop_index), count in surviving.items():
+            key = mix_pc(pc, uop_index)
+            lvt, index, tag = self._lvt_slot(key)
+            if lvt.tag == tag:
+                lvt.inflight = count
+                self._spec_dirty.add(index)
+
+    # -- reporting ----------------------------------------------------------
+
+    def storage_bits(self) -> int:
+        lvt_bits = self.base_entries * (self.lvt_tag_bits + 64)
+        vt0_bits = self.base_entries * (self.stride_bits + self.fpc.bits)
+        tagged_bits = 0
+        for comp in range(self.components):
+            per_entry = self.tag_bits[comp] + self.stride_bits + self.fpc.bits + 1
+            tagged_bits += self.tagged_entries * per_entry
+        return lvt_bits + vt0_bits + tagged_bits

@@ -1,0 +1,155 @@
+"""Finite Context Method predictors (related work, §VII-A).
+
+Order-n FCM (Sazeides & Smith) is a two-level structure: a Value History
+Table (VHT) indexed by PC records the hashes of the last ``n`` results; the
+hashed history indexes a Value Prediction Table (VPT) holding the predicted
+value.  D-FCM (Goeman et al.) stores *strides* in the VPT instead and adds
+them to the last value — the direct inspiration for D-VTAGE.
+
+The defining practical weakness of FCM-family predictors (and the reason the
+paper prefers VTAGE) is the serial two-level lookup: predicting instance
+``n+1`` of an instruction requires the history updated with instance ``n``'s
+result.  We model them *non-speculatively* — the history advances only at
+commit — which honestly reproduces their inability to predict back-to-back
+instances in tight loops.
+"""
+
+from __future__ import annotations
+
+from repro.common.bits import fold_bits, mask, to_signed, to_unsigned
+from repro.predictors.base import (
+    HistoryState,
+    Prediction,
+    ValuePredictor,
+    mix_pc,
+    table_index,
+)
+from repro.predictors.confidence import FPCPolicy
+
+#: Width of each hashed value kept in the VHT history.
+_HASH_BITS = 16
+
+
+def _value_hash(value: int) -> int:
+    """Compress a 64-bit result into a 16-bit history element."""
+    return fold_bits(to_unsigned(value * 0x9E3779B97F4A7C15, 64), 64, _HASH_BITS)
+
+
+class _VHTEntry:
+    __slots__ = ("tag", "history", "last")
+
+    def __init__(self, order: int) -> None:
+        self.tag = -1
+        self.history = [0] * order
+        self.last = 0
+
+
+class _VPTEntry:
+    __slots__ = ("value", "conf")
+
+    def __init__(self) -> None:
+        self.value = 0
+        self.conf = 0
+
+
+class FCMPredictor(ValuePredictor):
+    """Order-n FCM: VHT (per-PC value history) -> VPT (prediction)."""
+
+    name = "fcm"
+    differential = False
+
+    def __init__(
+        self,
+        order: int = 4,
+        vht_entries: int = 8192,
+        vpt_entries: int = 32768,
+        tag_bits: int = 5,
+        stride_bits: int = 64,
+        fpc: FPCPolicy | None = None,
+    ) -> None:
+        for n, what in ((vht_entries, "vht_entries"), (vpt_entries, "vpt_entries")):
+            if n <= 0 or n & (n - 1):
+                raise ValueError(f"{what} must be a power of two, got {n}")
+        if order < 1:
+            raise ValueError(f"order must be >= 1, got {order}")
+        self.order = order
+        self.vht_entries = vht_entries
+        self.vpt_entries = vpt_entries
+        self.vht_index_bits = vht_entries.bit_length() - 1
+        self.vpt_index_bits = vpt_entries.bit_length() - 1
+        self.tag_bits = tag_bits
+        self.stride_bits = stride_bits
+        self.fpc = fpc if fpc is not None else FPCPolicy()
+        self._vht = [_VHTEntry(order) for _ in range(vht_entries)]
+        self._vpt = [_VPTEntry() for _ in range(vpt_entries)]
+
+    def _vht_lookup(self, pc: int, uop_index: int) -> tuple[_VHTEntry, int]:
+        key = mix_pc(pc, uop_index)
+        entry = self._vht[table_index(key, self.vht_index_bits)]
+        tag = (key >> self.vht_index_bits) & mask(self.tag_bits)
+        return entry, tag
+
+    def _vpt_index(self, pc: int, history: list[int]) -> int:
+        acc = pc
+        for h in history:
+            acc = to_unsigned((acc << 5) ^ (acc >> 59) ^ h, 64)
+        return fold_bits(acc, 64, self.vpt_index_bits)
+
+    def predict(
+        self, pc: int, uop_index: int, hist: HistoryState
+    ) -> Prediction | None:
+        vht, tag = self._vht_lookup(pc, uop_index)
+        if vht.tag != tag:
+            return None
+        vpt = self._vpt[self._vpt_index(pc, vht.history)]
+        if self.differential:
+            value = to_unsigned(vht.last + to_signed(vpt.value, self.stride_bits), 64)
+        else:
+            value = vpt.value
+        return Prediction(value, self.fpc.is_confident(vpt.conf))
+
+    def train(
+        self,
+        pc: int,
+        uop_index: int,
+        hist: HistoryState,
+        actual: int,
+        prediction: Prediction | None,
+    ) -> None:
+        vht, tag = self._vht_lookup(pc, uop_index)
+        if vht.tag != tag:
+            vht.tag = tag
+            vht.history = [0] * self.order
+            vht.last = actual
+            self._push_history(vht, actual)
+            return
+        vpt = self._vpt[self._vpt_index(pc, vht.history)]
+        correct = prediction is not None and prediction.value == actual
+        vpt.conf = self.fpc.advance(vpt.conf) if correct else self.fpc.reset_level()
+        if self.differential:
+            vpt.value = to_unsigned(
+                to_signed(actual - vht.last, self.stride_bits), self.stride_bits
+            )
+        else:
+            vpt.value = actual
+        vht.last = actual
+        self._push_history(vht, actual)
+
+    def _push_history(self, vht: _VHTEntry, value: int) -> None:
+        vht.history.pop(0)
+        vht.history.append(_value_hash(value))
+
+    def storage_bits(self) -> int:
+        vht_entry = self.tag_bits + self.order * _HASH_BITS
+        if self.differential:
+            vht_entry += 64  # the last value
+        vpt_value = self.stride_bits if self.differential else 64
+        vpt_entry = vpt_value + self.fpc.bits
+        return self.vht_entries * vht_entry + self.vpt_entries * vpt_entry
+
+
+class DFCMPredictor(FCMPredictor):
+    """Differential FCM (Goeman et al. [13]): strides in the VPT."""
+
+    name = "dfcm"
+    differential = True

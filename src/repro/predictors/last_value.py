@@ -1,0 +1,87 @@
+"""Tagged Last Value Predictor (Lipasti & Shen).
+
+Predicts that an instruction produces the same value as its previous
+instance.  Direct-mapped with small partial tags and FPC confidence; this is
+also the base component of VTAGE (untagged there).
+"""
+
+from __future__ import annotations
+
+from repro.common.bits import mask
+from repro.predictors.base import (
+    HistoryState,
+    Prediction,
+    ValuePredictor,
+    mix_pc,
+    table_index,
+)
+from repro.predictors.confidence import FPCPolicy
+
+
+class _Entry:
+    __slots__ = ("tag", "value", "conf")
+
+    def __init__(self) -> None:
+        self.tag = -1          # -1 = never allocated
+        self.value = 0
+        self.conf = 0
+
+
+class LastValuePredictor(ValuePredictor):
+    """Direct-mapped LVP: ``entries`` × (tag, 64-bit value, 3-bit FPC)."""
+
+    name = "lvp"
+
+    def __init__(
+        self,
+        entries: int = 8192,
+        tag_bits: int = 5,
+        value_bits: int = 64,
+        fpc: FPCPolicy | None = None,
+    ) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError(f"entries must be a power of two, got {entries}")
+        self.entries = entries
+        self.index_bits = entries.bit_length() - 1
+        self.tag_bits = tag_bits
+        self.value_bits = value_bits
+        self.fpc = fpc if fpc is not None else FPCPolicy()
+        self._table = [_Entry() for _ in range(entries)]
+
+    def _lookup(self, pc: int, uop_index: int) -> tuple[_Entry, int]:
+        key = mix_pc(pc, uop_index)
+        entry = self._table[table_index(key, self.index_bits)]
+        tag = (key >> self.index_bits) & mask(self.tag_bits)
+        return entry, tag
+
+    def predict(
+        self, pc: int, uop_index: int, hist: HistoryState
+    ) -> Prediction | None:
+        entry, tag = self._lookup(pc, uop_index)
+        if entry.tag != tag:
+            return None
+        return Prediction(entry.value, self.fpc.is_confident(entry.conf))
+
+    def train(
+        self,
+        pc: int,
+        uop_index: int,
+        hist: HistoryState,
+        actual: int,
+        prediction: Prediction | None,
+    ) -> None:
+        entry, tag = self._lookup(pc, uop_index)
+        if entry.tag != tag:
+            # Allocate: steal the entry (direct-mapped, no usefulness).
+            entry.tag = tag
+            entry.value = actual
+            entry.conf = 0
+            return
+        if entry.value == actual:
+            entry.conf = self.fpc.advance(entry.conf)
+        else:
+            entry.conf = self.fpc.reset_level()
+            entry.value = actual
+
+    def storage_bits(self) -> int:
+        return self.entries * (self.tag_bits + self.value_bits + self.fpc.bits)

@@ -1,0 +1,172 @@
+"""Per-Path Stride predictor (Nakra, Gupta & Soffa — §VII-B).
+
+PS splits the two halves of a stride prediction across different contexts:
+the *last value* is read from a Value History Table indexed by the
+instruction address, while the *stride* is read from a Stride History Table
+indexed by a hash of the global branch history and the PC.  The sum forms
+the prediction.  The paper cites PS as what "legitimizes the use of the
+global branch history to predict instruction results" — D-VTAGE is its
+TAGE-structured descendant.
+
+This implementation mirrors our other instruction-based predictors: FPC
+confidence on the stride entries, fetch-time VHT claiming with instance
+counting for the speculative history, checkpointed squash repair.
+"""
+
+from __future__ import annotations
+
+from repro.common.bits import mask, to_signed, to_unsigned
+from repro.predictors.base import (
+    HistoryState,
+    Prediction,
+    ValuePredictor,
+    mix_pc,
+    table_index,
+    tagged_index,
+)
+from repro.predictors.confidence import FPCPolicy
+
+
+class _VHTEntry:
+    __slots__ = ("tag", "valid", "last", "inflight")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.valid = False
+        self.last = 0
+        self.inflight = 0
+
+
+class _SHTEntry:
+    __slots__ = ("stride", "conf")
+
+    def __init__(self) -> None:
+        self.stride = 0
+        self.conf = 0
+
+
+class _TrainMeta:
+    __slots__ = ("sht_index",)
+
+    def __init__(self, sht_index: int) -> None:
+        self.sht_index = sht_index
+
+
+class PerPathStridePredictor(ValuePredictor):
+    """VHT (per-PC last values) + SHT (per-path strides)."""
+
+    name = "per-path-stride"
+
+    def __init__(
+        self,
+        vht_entries: int = 8192,
+        sht_entries: int = 8192,
+        tag_bits: int = 5,
+        stride_bits: int = 64,
+        history_length: int = 16,
+        fpc: FPCPolicy | None = None,
+    ) -> None:
+        for n, what in ((vht_entries, "vht_entries"), (sht_entries, "sht_entries")):
+            if n <= 0 or n & (n - 1):
+                raise ValueError(f"{what} must be a power of two, got {n}")
+        self.vht_entries = vht_entries
+        self.sht_entries = sht_entries
+        self.vht_index_bits = vht_entries.bit_length() - 1
+        self.sht_index_bits = sht_entries.bit_length() - 1
+        self.tag_bits = tag_bits
+        self.stride_bits = stride_bits
+        self.history_length = history_length
+        self.fpc = fpc if fpc is not None else FPCPolicy()
+        self._vht = [_VHTEntry() for _ in range(vht_entries)]
+        self._sht = [_SHTEntry() for _ in range(sht_entries)]
+        self._spec_dirty: set[int] = set()
+
+    def _vht_slot(self, key: int) -> tuple[_VHTEntry, int, int]:
+        index = table_index(key, self.vht_index_bits)
+        tag = (key >> self.vht_index_bits) & mask(self.tag_bits)
+        return self._vht[index], index, tag
+
+    def _sht_index(self, key: int, hist: HistoryState) -> int:
+        return tagged_index(key, hist, self.history_length, self.sht_index_bits)
+
+    def predict(
+        self, pc: int, uop_index: int, hist: HistoryState
+    ) -> Prediction | None:
+        key = mix_pc(pc, uop_index)
+        vht, vht_index, vht_tag = self._vht_slot(key)
+        if vht.tag != vht_tag:
+            vht.tag = vht_tag
+            vht.valid = False
+            vht.inflight = 1
+            self._spec_dirty.add(vht_index)
+            return None
+        vht.inflight += 1
+        self._spec_dirty.add(vht_index)
+        if not vht.valid:
+            return None
+        sht_index = self._sht_index(key, hist)
+        entry = self._sht[sht_index]
+        stride = to_signed(entry.stride, self.stride_bits)
+        value = to_unsigned(vht.last + stride * vht.inflight, 64)
+        return Prediction(
+            value,
+            self.fpc.is_confident(entry.conf),
+            meta=_TrainMeta(sht_index),
+        )
+
+    def train(
+        self,
+        pc: int,
+        uop_index: int,
+        hist: HistoryState,
+        actual: int,
+        prediction: Prediction | None,
+    ) -> None:
+        key = mix_pc(pc, uop_index)
+        vht, vht_index, vht_tag = self._vht_slot(key)
+        if vht.tag != vht_tag:
+            return  # entry re-claimed at fetch by another instruction
+        if vht.inflight > 0:
+            vht.inflight -= 1
+        if not vht.valid:
+            vht.valid = True
+            vht.last = actual
+            if vht.inflight == 0:
+                self._spec_dirty.discard(vht_index)
+            return
+        observed = to_unsigned(
+            to_signed(actual - vht.last, self.stride_bits), self.stride_bits
+        )
+        if prediction is not None and isinstance(prediction.meta, _TrainMeta):
+            entry = self._sht[prediction.meta.sht_index]
+            if prediction.value == actual:
+                entry.conf = self.fpc.advance(entry.conf)
+            else:
+                entry.conf = self.fpc.reset_level()
+                entry.stride = observed
+        else:
+            # No prediction was made (cold VHT at fetch): still install the
+            # stride under the fetch-time path context.
+            entry = self._sht[self._sht_index(key, hist)]
+            entry.stride = observed
+            entry.conf = self.fpc.reset_level()
+        vht.last = actual
+        if vht.inflight == 0:
+            self._spec_dirty.discard(vht_index)
+
+    def squash(self, surviving: dict[tuple[int, int], int] | None = None) -> None:
+        for index in self._spec_dirty:
+            self._vht[index].inflight = 0
+        self._spec_dirty.clear()
+        if not surviving:
+            return
+        for (pc, uop_index), count in surviving.items():
+            vht, index, tag = self._vht_slot(mix_pc(pc, uop_index))
+            if vht.tag == tag:
+                vht.inflight = count
+                self._spec_dirty.add(index)
+
+    def storage_bits(self) -> int:
+        vht = self.vht_entries * (self.tag_bits + 64)
+        sht = self.sht_entries * (self.stride_bits + self.fpc.bits)
+        return vht + sht

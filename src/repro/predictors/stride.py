@@ -1,0 +1,182 @@
+"""Stride value predictors with speculative last-value tracking.
+
+``StridePredictor`` is the baseline stride predictor (Eickemeyer &
+Vassiliadis): predict ``last + stride`` where ``stride`` is the difference
+between the two most recent committed results.  ``TwoDeltaStridePredictor``
+(the comparison point of Fig 5a) only promotes a new stride into the
+predicting slot after seeing it twice, filtering one-off jumps.
+
+Stride predictors are *computational*: the prediction for instance ``n+1``
+needs the value of instance ``n``, which may still be in flight.  At the
+instruction granularity we model the idealistic speculative history the
+paper assumes for these baselines with classic *instance counting*: each
+entry tracks how many instances are in flight and predicts
+``last + (k+1) * stride``; the counts are restored from a checkpoint on
+pipeline squashes (DESIGN.md §5).  The realistic, block-based speculative
+window is :mod:`repro.bebop.spec_window`.
+"""
+
+from __future__ import annotations
+
+from repro.common.bits import mask, sign_extend, to_signed, to_unsigned
+from repro.predictors.base import (
+    HistoryState,
+    Prediction,
+    ValuePredictor,
+    mix_pc,
+    table_index,
+)
+from repro.predictors.confidence import FPCPolicy
+
+
+class _StrideEntry:
+    __slots__ = ("tag", "valid", "last", "stride1", "stride2", "conf", "inflight")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.valid = False     # last value observed at least once
+        self.last = 0
+        self.stride1 = 0       # most recently observed stride
+        self.stride2 = 0       # predicting stride (2-delta: promoted copy)
+        self.conf = 0
+        self.inflight = 0      # in-flight instances (speculative history)
+
+
+class _BaseStride(ValuePredictor):
+    """Shared machinery of the one- and two-delta stride predictors."""
+
+    two_delta = False
+
+    def __init__(
+        self,
+        entries: int = 8192,
+        tag_bits: int = 5,
+        stride_bits: int = 64,
+        fpc: FPCPolicy | None = None,
+    ) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError(f"entries must be a power of two, got {entries}")
+        self.entries = entries
+        self.index_bits = entries.bit_length() - 1
+        self.tag_bits = tag_bits
+        self.stride_bits = stride_bits
+        self.fpc = fpc if fpc is not None else FPCPolicy()
+        self._table = [_StrideEntry() for _ in range(entries)]
+        # Entries whose speculative state diverged from committed state;
+        # reset on squash without walking the whole table.
+        self._spec_dirty: set[int] = set()
+
+    def _lookup(self, pc: int, uop_index: int) -> tuple[_StrideEntry, int, int]:
+        key = mix_pc(pc, uop_index)
+        index = table_index(key, self.index_bits)
+        tag = (key >> self.index_bits) & mask(self.tag_bits)
+        return self._table[index], index, tag
+
+    def _truncate_stride(self, stride: int) -> int:
+        """Store a (possibly partial) stride: keep the low bits, signed."""
+        return to_signed(stride, self.stride_bits)
+
+    def _predicting_stride(self, entry: _StrideEntry) -> int:
+        return entry.stride2 if self.two_delta else entry.stride1
+
+    def predict(
+        self, pc: int, uop_index: int, hist: HistoryState
+    ) -> Prediction | None:
+        entry, index, tag = self._lookup(pc, uop_index)
+        if entry.tag != tag:
+            # Claim the entry at fetch so every in-flight instance is
+            # counted from the very first one; the last value arrives with
+            # the first commit.
+            entry.tag = tag
+            entry.valid = False
+            entry.stride1 = 0
+            entry.stride2 = 0
+            entry.conf = 0
+            entry.inflight = 1
+            self._spec_dirty.add(index)
+            return None
+        entry.inflight += 1
+        self._spec_dirty.add(index)
+        if not entry.valid:
+            return None
+        # Idealistic speculative history at the instruction granularity (the
+        # paper's baseline assumption for non-BeBoP predictors): with k older
+        # instances in flight, this instance is last + (k+1)*stride.  This is
+        # the classic instance-counting formulation; the realistic
+        # alternative (chaining stored predicted values) is what the BeBoP
+        # speculative window models.
+        stride = self._predicting_stride(entry)
+        value = to_unsigned(entry.last + stride * entry.inflight, 64)
+        return Prediction(value, self.fpc.is_confident(entry.conf))
+
+    def train(
+        self,
+        pc: int,
+        uop_index: int,
+        hist: HistoryState,
+        actual: int,
+        prediction: Prediction | None,
+    ) -> None:
+        entry, index, tag = self._lookup(pc, uop_index)
+        if entry.tag != tag:
+            # The entry was re-claimed by another instruction at fetch;
+            # this stale update must not corrupt it.
+            return
+        if entry.inflight > 0:
+            entry.inflight -= 1
+        if not entry.valid:
+            entry.valid = True
+            entry.last = actual
+            if entry.inflight == 0:
+                self._spec_dirty.discard(index)
+            return
+        observed = self._truncate_stride(actual - entry.last)
+        if self.two_delta:
+            if observed == entry.stride1:
+                entry.stride2 = observed
+            entry.stride1 = observed
+        else:
+            entry.stride1 = observed
+        correct = prediction is not None and prediction.value == actual
+        entry.conf = self.fpc.advance(entry.conf) if correct else self.fpc.reset_level()
+        entry.last = actual
+        if entry.inflight == 0:
+            self._spec_dirty.discard(index)
+
+    def squash(self, surviving: dict[tuple[int, int], int] | None = None) -> None:
+        """Pipeline flush: restore in-flight counts from the checkpoint.
+
+        Squashed (younger) instances will never train, so their counts must
+        be discarded; older not-yet-trained instances must stay counted or
+        every later prediction under-extrapolates by a constant.
+        """
+        for index in self._spec_dirty:
+            self._table[index].inflight = 0
+        self._spec_dirty.clear()
+        if not surviving:
+            return
+        for (pc, uop_index), count in surviving.items():
+            entry, index, tag = self._lookup(pc, uop_index)
+            if entry.tag == tag:
+                entry.inflight = count
+                self._spec_dirty.add(index)
+
+    def storage_bits(self) -> int:
+        per_entry = self.tag_bits + 64 + self.stride_bits + self.fpc.bits
+        if self.two_delta:
+            per_entry += self.stride_bits
+        return self.entries * per_entry
+
+
+class StridePredictor(_BaseStride):
+    """Baseline stride predictor ([7]/[11] in the paper)."""
+
+    name = "stride"
+    two_delta = False
+
+
+class TwoDeltaStridePredictor(_BaseStride):
+    """2-delta stride predictor: the Fig 5a ``2d-Stride`` configuration."""
+
+    name = "2d-stride"
+    two_delta = True

@@ -1,0 +1,261 @@
+"""The VTAGE value predictor (Perais & Seznec, HPCA 2014).
+
+VTAGE transposes the TAGE branch predictor to value prediction: a tagless
+direct-mapped base component (a last-value predictor) plus ``n`` partially
+tagged components indexed by hashes of the PC with geometrically increasing
+amounts of global branch/path history.  The prediction comes from the
+hitting component with the longest history; allocation on mispredictions is
+steered by per-entry usefulness bits with periodic reset.
+
+Because every entry stores a *full value* and is indexed by history, VTAGE
+needs no speculative window and has no prediction critical path — but it
+cannot capture strided series (each instance needs its own entry), which is
+what D-VTAGE fixes.
+"""
+
+from __future__ import annotations
+
+from repro.common.bits import mask
+from repro.common.rng import XorShift64
+from repro.predictors.base import (
+    HistoryState,
+    Prediction,
+    ValuePredictor,
+    mix_pc,
+    table_index,
+    tagged_index,
+    tagged_tag,
+)
+from repro.predictors.confidence import FPCPolicy
+
+
+def geometric_history_lengths(
+    components: int, min_length: int = 2, max_length: int = 64
+) -> tuple[int, ...]:
+    """History lengths growing geometrically from min to max (paper §V-B).
+
+    >>> geometric_history_lengths(6)
+    (2, 4, 8, 16, 32, 64)
+    """
+    if components == 1:
+        return (min_length,)
+    ratio = (max_length / min_length) ** (1.0 / (components - 1))
+    lengths = []
+    for i in range(components):
+        lengths.append(int(round(min_length * ratio**i)))
+    lengths[-1] = max_length
+    return tuple(lengths)
+
+
+class _BaseEntry:
+    __slots__ = ("value", "conf")
+
+    def __init__(self) -> None:
+        self.value = 0
+        self.conf = 0
+
+
+class _TaggedEntry:
+    __slots__ = ("tag", "value", "conf", "useful")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.value = 0
+        self.conf = 0
+        self.useful = 0
+
+
+class _TrainMeta:
+    """Provider bookkeeping carried from predict to train."""
+
+    __slots__ = ("provider", "index", "tag", "alt_value")
+
+    def __init__(self, provider: int, index: int, tag: int, alt_value: int) -> None:
+        self.provider = provider       # 0 = base, i+1 = tagged component i
+        self.index = index
+        self.tag = tag
+        self.alt_value = alt_value
+
+
+class VTAGEPredictor(ValuePredictor):
+    """1 + n component VTAGE with FPC confidence.
+
+    Defaults follow the paper's configuration (§V-B): an 8K-entry base
+    last-value component and six 1K-entry tagged components with 13..18-bit
+    tags and 2..64-bit geometric histories.
+    """
+
+    name = "vtage"
+
+    def __init__(
+        self,
+        base_entries: int = 8192,
+        tagged_entries: int = 1024,
+        components: int = 6,
+        first_tag_bits: int = 13,
+        min_history: int = 2,
+        max_history: int = 64,
+        fpc: FPCPolicy | None = None,
+        useful_reset_period: int = 8192,
+        seed: int = 0x7A6E,
+    ) -> None:
+        for n, what in ((base_entries, "base"), (tagged_entries, "tagged")):
+            if n <= 0 or n & (n - 1):
+                raise ValueError(f"{what} entry count must be a power of two, got {n}")
+        self.base_entries = base_entries
+        self.tagged_entries = tagged_entries
+        self.components = components
+        self.base_index_bits = base_entries.bit_length() - 1
+        self.tagged_index_bits = tagged_entries.bit_length() - 1
+        self.tag_bits = tuple(first_tag_bits + i for i in range(components))
+        self.history_lengths = geometric_history_lengths(
+            components, min_history, max_history
+        )
+        self.fpc = fpc if fpc is not None else FPCPolicy()
+        self._base = [_BaseEntry() for _ in range(base_entries)]
+        self._tagged = [
+            [_TaggedEntry() for _ in range(tagged_entries)]
+            for _ in range(components)
+        ]
+        self._rng = XorShift64(seed)
+        self._useful_reset_period = useful_reset_period
+        self._updates_since_reset = 0
+
+    # -- lookups -----------------------------------------------------------
+
+    def _base_entry(self, key: int) -> _BaseEntry:
+        return self._base[table_index(key, self.base_index_bits)]
+
+    def _component_slot(
+        self, comp: int, key: int, hist: HistoryState
+    ) -> tuple[int, int]:
+        """(index, tag) of ``key`` in tagged component ``comp``."""
+        length = self.history_lengths[comp]
+        index = tagged_index(key, hist, length, self.tagged_index_bits)
+        tag = tagged_tag(key, hist, length, self.tag_bits[comp])
+        return index, tag
+
+    def _hits(self, key: int, hist: HistoryState) -> list[tuple[int, int, int]]:
+        """All hitting tagged components as (comp, index, tag), ascending."""
+        hits = []
+        for comp in range(self.components):
+            index, tag = self._component_slot(comp, key, hist)
+            if self._tagged[comp][index].tag == tag:
+                hits.append((comp, index, tag))
+        return hits
+
+    # -- prediction ---------------------------------------------------------
+
+    def predict(
+        self, pc: int, uop_index: int, hist: HistoryState
+    ) -> Prediction | None:
+        key = mix_pc(pc, uop_index)
+        hits = self._hits(key, hist)
+        base = self._base_entry(key)
+        if hits:
+            comp, index, tag = hits[-1]
+            entry = self._tagged[comp][index]
+            if len(hits) > 1:
+                alt_comp, alt_index, _ = hits[-2]
+                alt_value = self._tagged[alt_comp][alt_index].value
+            else:
+                alt_value = base.value
+            return Prediction(
+                entry.value,
+                self.fpc.is_confident(entry.conf),
+                provider=comp + 1,
+                meta=_TrainMeta(comp + 1, index, tag, alt_value),
+            )
+        return Prediction(
+            base.value,
+            self.fpc.is_confident(base.conf),
+            provider=0,
+            meta=_TrainMeta(0, table_index(key, self.base_index_bits), 0, base.value),
+        )
+
+    # -- training -----------------------------------------------------------
+
+    def train(
+        self,
+        pc: int,
+        uop_index: int,
+        hist: HistoryState,
+        actual: int,
+        prediction: Prediction | None,
+    ) -> None:
+        key = mix_pc(pc, uop_index)
+        if prediction is None or not isinstance(prediction.meta, _TrainMeta):
+            # Cold structure: just install into the base component.
+            base = self._base_entry(key)
+            base.value = actual
+            base.conf = 0
+            return
+        meta: _TrainMeta = prediction.meta
+        correct = prediction.value == actual
+        if meta.provider == 0:
+            base = self._base[meta.index]
+            if correct:
+                base.conf = self.fpc.advance(base.conf)
+            else:
+                base.conf = self.fpc.reset_level()
+                base.value = actual
+        else:
+            comp = meta.provider - 1
+            entry = self._tagged[comp][meta.index]
+            if entry.tag == meta.tag:
+                if correct:
+                    entry.conf = self.fpc.advance(entry.conf)
+                    # Useful iff correct and the alternate disagreed.
+                    entry.useful = 1 if meta.alt_value != entry.value else 0
+                else:
+                    entry.conf = self.fpc.reset_level()
+                    entry.value = actual
+                    entry.useful = 0
+        if not correct:
+            self._allocate(key, hist, meta.provider, actual)
+        self._tick_useful_reset()
+
+    def _allocate(
+        self, key: int, hist: HistoryState, provider: int, actual: int
+    ) -> None:
+        """Allocate in a not-useful entry of a longer-history component."""
+        start = provider  # provider 0 = base -> components 0.. ; i+1 -> i+1..
+        candidates = []
+        slots = []
+        for comp in range(start, self.components):
+            index, tag = self._component_slot(comp, key, hist)
+            slots.append((comp, index, tag))
+            if self._tagged[comp][index].useful == 0:
+                candidates.append((comp, index, tag))
+        if not candidates:
+            for comp, index, _tag in slots:
+                self._tagged[comp][index].useful = 0
+            return
+        comp, index, tag = candidates[self._rng.next_below(len(candidates))]
+        entry = self._tagged[comp][index]
+        entry.tag = tag
+        entry.value = actual
+        entry.conf = self._allocation_confidence()
+        entry.useful = 0
+
+    def _allocation_confidence(self) -> int:
+        """Confidence level installed in a freshly allocated entry."""
+        return 0
+
+    def _tick_useful_reset(self) -> None:
+        self._updates_since_reset += 1
+        if self._updates_since_reset >= self._useful_reset_period:
+            self._updates_since_reset = 0
+            for component in self._tagged:
+                for entry in component:
+                    entry.useful = 0
+
+    # -- reporting ----------------------------------------------------------
+
+    def storage_bits(self) -> int:
+        base_bits = self.base_entries * (64 + self.fpc.bits)
+        tagged_bits = 0
+        for comp in range(self.components):
+            per_entry = self.tag_bits[comp] + 64 + self.fpc.bits + 1
+            tagged_bits += self.tagged_entries * per_entry
+        return base_bits + tagged_bits

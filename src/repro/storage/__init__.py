@@ -1,0 +1,23 @@
+"""Storage-budget accounting for predictor configurations (Table III)."""
+
+from repro.storage.budget import (
+    LARGE,
+    MEDIUM,
+    SMALL_4P,
+    SMALL_6P,
+    TABLE_III,
+    StorageBreakdown,
+    TableIIIConfig,
+    breakdown,
+)
+
+__all__ = [
+    "TableIIIConfig",
+    "StorageBreakdown",
+    "breakdown",
+    "SMALL_4P",
+    "SMALL_6P",
+    "MEDIUM",
+    "LARGE",
+    "TABLE_III",
+]

@@ -1,0 +1,37 @@
+"""Synthetic workloads standing in for the paper's SPEC slices.
+
+The paper evaluates on Simpoint slices of 36 SPEC CPU2000/2006 benchmarks
+(Table II).  Reference SPEC inputs and gem5 checkpoints are not available
+here, so this package provides the substitution documented in DESIGN.md:
+
+* :mod:`repro.workloads.trace` — a functional interpreter that executes a
+  laid-out :class:`~repro.isa.program.Program` and emits the dynamic µ-op
+  trace (values, memory addresses, branch outcomes) that the timing model
+  and predictors consume;
+* :mod:`repro.workloads.kernels` — parameterised program generators covering
+  the value-pattern classes that drive value-prediction results (strided
+  loops, constant reloads, control-flow-correlated values, pointer chasing,
+  unpredictable computation);
+* :mod:`repro.workloads.suite` — the 36 named workloads, one per Table-II
+  benchmark, each a kernel mix chosen to mimic that benchmark's published
+  behaviour (FP benchmarks strided and predictable, mcf pointer-chasing and
+  memory-bound, gobmk/sjeng branchy and value-unpredictable...).
+"""
+
+from repro.workloads.trace import Trace, TraceGenerator, generate_trace
+from repro.workloads.suite import (
+    SUITE,
+    WorkloadSpec,
+    all_workload_names,
+    build_workload,
+)
+
+__all__ = [
+    "Trace",
+    "TraceGenerator",
+    "generate_trace",
+    "SUITE",
+    "WorkloadSpec",
+    "all_workload_names",
+    "build_workload",
+]

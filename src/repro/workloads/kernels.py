@@ -1,0 +1,567 @@
+"""Parameterised program kernels covering the value-pattern classes.
+
+Value predictors distinguish workloads only through the (PC, branch history,
+value stream) they observe.  The kernels below generate programs dominated by
+one pattern class each; the suite (:mod:`repro.workloads.suite`) mixes them
+to mimic individual SPEC benchmarks:
+
+``strided``
+    Array streaming with induction variables and stride-valued loads — the
+    bread and butter of Stride/D-VTAGE predictors (swim, mgrid, applu...).
+    A ``tight`` variant has a 4-instruction loop body so that many iterations
+    are in flight simultaneously, which is what makes the *speculative
+    window* matter (wupwise/applu/bzip in Fig 7b).
+``control_dep``
+    Register values correlated with the global branch history but not with
+    their own previous values — VTAGE-predictable, Stride-hostile
+    (gcc, perlbench, xalancbmk).
+``pointer_chase``
+    Serialised loads walking a shuffled ring of nodes — low IPC,
+    hard to predict (mcf, omnetpp).
+``random_compute``
+    Values from a PRNG plus data-dependent branches — the unpredictable
+    floor (gobmk, sjeng).
+``constant``
+    Reloads of rarely-changing values — last-value-predictable.
+
+All builders return ``(Program, init_mem)`` where ``init_mem`` pre-populates
+data structures (e.g. the pointer ring) the program expects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.rng import XorShift64
+from repro.isa.instruction import Opcode, StaticInst
+from repro.isa.program import BasicBlock, Program
+from repro.isa.registers import fp_reg, int_reg
+
+#: Plausible x86-64 instruction-length distribution (bytes -> weight).
+_LENGTH_WEIGHTS: tuple[tuple[int, int], ...] = (
+    (1, 1),
+    (2, 4),
+    (3, 6),
+    (4, 6),
+    (5, 4),
+    (6, 2),
+    (7, 2),
+    (8, 1),
+    (10, 1),
+)
+_LENGTH_POOL: tuple[int, ...] = tuple(
+    length for length, weight in _LENGTH_WEIGHTS for _ in range(weight)
+)
+
+DATA_BASE = 0x10_0000
+RING_BASE = 0x80_0000
+#: A ring node's payload must sit on a different 64-byte line than its
+#: next pointer (see build_pointer_chase_kernel).
+LINE_BYTES_SAFE = 64
+
+
+class InstFactory:
+    """Builds :class:`StaticInst` with deterministic pseudo-random lengths.
+
+    Byte lengths are what give fetch blocks their x86 flavour: a given static
+    instruction always has the same length, but different instructions start
+    at irregular boundaries, so BeBoP's byte-index tags do real work.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self._rng = XorShift64(seed ^ 0xC0FFEE)
+
+    def _length(self) -> int:
+        return _LENGTH_POOL[self._rng.next_below(len(_LENGTH_POOL))]
+
+    def make(
+        self,
+        opcode: Opcode,
+        dests: tuple[int, ...] = (),
+        srcs: tuple[int, ...] = (),
+        imm: int = 0,
+        target: str | None = None,
+    ) -> StaticInst:
+        return StaticInst(
+            opcode=opcode,
+            dests=dests,
+            srcs=srcs,
+            imm=imm,
+            target=target,
+            length=self._length(),
+        )
+
+    # Convenience emitters -------------------------------------------------
+
+    def li(self, rd: int, imm: int) -> StaticInst:
+        return self.make(Opcode.LI, dests=(rd,), imm=imm)
+
+    def addi(self, rd: int, rs: int, imm: int) -> StaticInst:
+        return self.make(Opcode.ADDI, dests=(rd,), srcs=(rs,), imm=imm)
+
+    def add(self, rd: int, ra: int, rb: int) -> StaticInst:
+        return self.make(Opcode.ADD, dests=(rd,), srcs=(ra, rb))
+
+    def load(self, rd: int, ra: int, imm: int = 0) -> StaticInst:
+        return self.make(Opcode.LOAD, dests=(rd,), srcs=(ra,), imm=imm)
+
+    def store(self, ra: int, rb: int, imm: int = 0) -> StaticInst:
+        return self.make(Opcode.STORE, srcs=(ra, rb), imm=imm)
+
+    def branch(
+        self, opcode: Opcode, ra: int, rb: int, target: str
+    ) -> StaticInst:
+        return self.make(opcode, srcs=(ra, rb), target=target)
+
+    def jmp(self, target: str) -> StaticInst:
+        return self.make(Opcode.JMP, target=target)
+
+
+
+def _noise_blocks(
+    f: InstFactory,
+    prefix: str,
+    counter: int,
+    rnd: int,
+    bit: int,
+    zero: int,
+    filler: int,
+    cont: str,
+    period: int,
+) -> list[BasicBlock]:
+    """Blocks implementing a rare data-dependent branch.
+
+    Real workloads mispredict branches every few hundred instructions
+    (SPEC MPKI is in the units); perfectly periodic synthetic loops would
+    otherwise never mispredict once TAGE warms up, and pipeline squashes are
+    what re-anchors speculative value-prediction chains.  Every ``period``
+    iterations (gated by a TAGE-predictable counter test) a branch steered
+    by one PRNG bit executes — unpredictable by construction, costing one
+    misprediction every ~2*period iterations.
+
+    The entry block is ``{prefix}_chk``; control continues at ``cont``.
+    """
+    chk = BasicBlock(f"{prefix}_chk")
+    chk.add(f.make(Opcode.ANDI, dests=(bit,), srcs=(counter,), imm=period - 1))
+    chk.add(f.branch(Opcode.BNE, bit, zero, cont))
+    chk.fallthrough = f"{prefix}_ns"
+    ns = BasicBlock(f"{prefix}_ns")
+    ns.add(f.make(Opcode.RAND, dests=(rnd,)))
+    ns.add(f.make(Opcode.ANDI, dests=(bit,), srcs=(rnd,), imm=1))
+    ns.add(f.branch(Opcode.BEQ, bit, zero, cont))
+    ns.fallthrough = f"{prefix}_tk"
+    tk = BasicBlock(f"{prefix}_tk")
+    tk.add(f.addi(filler, filler, 1))
+    tk.add(f.jmp(cont))
+    return [chk, ns, tk]
+
+
+@dataclass
+class KernelResult:
+    """A built kernel: the program plus any pre-initialised memory."""
+
+    program: Program
+    init_mem: dict[int, int] = field(default_factory=dict)
+
+
+def build_strided_kernel(
+    seed: int = 1,
+    trip: int = 64,
+    body_fp_ops: int = 4,
+    body_int_ops: int = 3,
+    loads: int = 2,
+    stores: int = 1,
+    value_stride: int = 24,
+    tight: bool = False,
+    noise_period: int = 16,
+    fp_chains: int = 2,
+) -> KernelResult:
+    """Streaming loop over an array holding an arithmetic progression.
+
+    The init loop writes ``a[i] = 7 + i * value_stride``; the main loop
+    streams over the array, so every load PC sees a perfectly strided value
+    series and every accumulator advances by a constant.  The FP body is
+    ``fp_chains`` *serial* accumulation chains (3-cycle FADDs through the
+    same register), so the baseline is dependence-bound the way FP SPEC
+    codes are — exactly the latency that correct value predictions collapse.
+    With ``tight=True`` the body shrinks to a handful of µ-ops, putting many
+    iterations in flight at once (the speculative-window stressor).
+    """
+    f = InstFactory(seed)
+    i, n, addr, acc = int_reg(1), int_reg(2), int_reg(3), int_reg(4)
+    zero, tmp = int_reg(5), int_reg(6)
+    rnd, bit = int_reg(14), int_reg(15)
+    loaded = [int_reg(7 + (k % 6)) for k in range(max(loads, 1))]
+    # One register per serial chain plus the shared constant addend (the
+    # chain count is what bounds per-iteration latency, not the op count).
+    n_chain_regs = max(1, min(fp_chains, 15))
+    fregs = [fp_reg(k) for k in range(n_chain_regs)] + [fp_reg(15)]
+
+    entry = BasicBlock("entry")
+    entry.add(f.li(zero, 0))
+    entry.add(f.li(n, trip))
+    entry.add(f.li(addr, DATA_BASE))
+    entry.add(f.li(i, 0))
+    entry.add(f.li(tmp, 7))
+    for k, fr in enumerate(fregs):
+        # Small chain addends: real codes overwhelmingly produce short
+        # strides, which is what makes the paper's 8-bit partial strides
+        # (§VI-B-a) nearly free.
+        entry.add(f.li(fr, 3 + 2 * k))
+
+    init = BasicBlock("init")
+    init.add(f.store(addr, tmp))
+    init.add(f.addi(tmp, tmp, value_stride))
+    init.add(f.addi(addr, addr, 8))
+    init.add(f.addi(i, i, 1))
+    init.add(f.branch(Opcode.BLT, i, n, "init"))
+
+    head = BasicBlock("head")
+    head.add(f.li(addr, DATA_BASE))
+    head.add(f.li(i, 0))
+
+    loop = BasicBlock("loop")
+    if tight:
+        # load / serial FADD chain / induction / branch: ~3 cycles per
+        # iteration of latency for 5 instructions, all value-predictable.
+        loop.add(f.load(loaded[0], addr))
+        loop.add(f.make(Opcode.FADD, dests=(fregs[0],), srcs=(fregs[0], fregs[-1])))
+        loop.add(f.addi(addr, addr, 8))
+        loop.add(f.addi(i, i, 1))
+        loop.add(f.branch(Opcode.BLT, i, n, "noise_chk"))
+    else:
+        chains = max(1, min(fp_chains, len(fregs) - 1))
+        for k in range(loads):
+            loop.add(f.load(loaded[k], addr, imm=8 * k))
+        for k in range(body_fp_ops):
+            # Serial accumulation chains: chain c advances by the constant
+            # fregs[-1] every op, so every FADD result is strided.
+            c = k % chains
+            loop.add(f.make(Opcode.FADD, dests=(fregs[c],), srcs=(fregs[c], fregs[-1])))
+        for k in range(body_int_ops):
+            loop.add(f.addi(acc, acc, 5 + k))
+        for k in range(stores):
+            loop.add(f.store(addr, loaded[k % len(loaded)], imm=512 + 8 * k))
+        loop.add(f.addi(addr, addr, 8))
+        loop.add(f.addi(i, i, 1))
+        loop.add(f.branch(Opcode.BLT, i, n, "noise_chk"))
+
+    back = BasicBlock("back")
+    back.add(f.jmp("head"))
+    noise = _noise_blocks(f, "noise", i, rnd, bit, zero, acc, "loop", noise_period)
+
+    return KernelResult(Program([entry, init, head, loop, back] + noise))
+
+
+def build_control_dep_kernel(
+    seed: int = 2,
+    period: int = 4,
+    arms: int = 3,
+    strided_ops: int = 1,
+    random_ops: int = 0,
+    noise_period: int = 32,
+) -> KernelResult:
+    """Values selected by the branch history, on a latency-critical path.
+
+    Each iteration dispatches over ``arms`` counter-selected branches (the
+    history source), then a *single* load reads ``table[sel]`` — one static
+    PC whose value is a deterministic function of the last few branch
+    outcomes.  That is exactly the correlation VTAGE's global-history
+    indexing captures; a stride predictor sees a period-``period`` value
+    cycle at one PC and learns nothing.  The loaded value feeds a serial
+    add chain and a 3-cycle multiply chain, so a correct prediction
+    collapses real latency (the way interpreter/compiler codes benefit).
+    """
+    f = InstFactory(seed)
+    i, sel, out, acc = int_reg(1), int_reg(2), int_reg(3), int_reg(4)
+    zero, strid = int_reg(5), int_reg(6)
+    rnd, prod = int_reg(7), int_reg(10)
+    taddr, toff = int_reg(11), int_reg(12)
+    shift3 = int_reg(13)
+
+    table_base = DATA_BASE + 0x40000
+    # Irregular spacing: consecutive-visit deltas differ per sel transition,
+    # so a per-PC stride predictor cannot settle on one stride.
+    init_mem = {table_base + 8 * s: 97 * s * s + 13 for s in range(period)}
+
+    entry = BasicBlock("entry")
+    entry.add(f.li(zero, 0))
+    entry.add(f.li(i, 0))
+    entry.add(f.li(strid, 0))
+    entry.add(f.li(prod, 3))
+    entry.add(f.li(shift3, 3))
+
+    loop = BasicBlock("loop")
+    loop.add(f.addi(i, i, 1))
+    loop.add(f.make(Opcode.ANDI, dests=(sel,), srcs=(i,), imm=period - 1))
+    # Dispatch chain: compare sel against 0..arms-2 (history generation).
+    blocks: list[BasicBlock] = [entry, loop]
+    for a in range(arms - 1):
+        test = BasicBlock(f"test{a}")
+        cmp_reg = int_reg(8)
+        test.add(f.li(cmp_reg, a))
+        test.add(
+            f.branch(
+                Opcode.BNE, sel, cmp_reg,
+                f"test{a + 1}" if a + 2 < arms else "arm_last",
+            )
+        )
+        arm = BasicBlock(f"arm{a}")
+        arm.add(f.addi(acc, acc, 1 + a))
+        arm.add(f.jmp("join"))
+        test.fallthrough = f"arm{a}"
+        blocks.append(test)
+        blocks.append(arm)
+    arm_last = BasicBlock("arm_last")
+    arm_last.add(f.addi(acc, acc, arms))
+    blocks.append(arm_last)
+
+    join = BasicBlock("join")
+    # One static load whose value is history-determined: table[sel].
+    join.add(f.make(Opcode.SHL, dests=(toff,), srcs=(sel, shift3)))
+    join.add(f.li(taddr, table_base))
+    join.add(f.add(taddr, taddr, toff))
+    join.add(f.load(out, taddr))
+    join.add(f.add(acc, acc, out))          # consumer of the loaded value
+    # Control-flow dependent *strided* pattern (the case D-VTAGE exists
+    # for, §III-C): each visit bumps table[sel], so the load's value is a
+    # per-history strided series — VTAGE alone sees ever-new values, a
+    # stride predictor sees irregular per-PC deltas, D-VTAGE captures it.
+    join.add(f.addi(prod, out, 17))
+    join.add(f.store(taddr, prod))
+    for k in range(strided_ops):
+        join.add(f.addi(strid, strid, 13 + k))
+    for _ in range(random_ops):
+        join.add(f.make(Opcode.RAND, dests=(rnd,)))
+    join.add(f.jmp("noise_chk"))
+    blocks.append(join)
+    bit = int_reg(9)
+    blocks.extend(
+        _noise_blocks(f, "noise", i, rnd, bit, zero, acc, "loop", noise_period)
+    )
+
+    # Fix the dispatch chain: loop falls through into test0.
+    loop.fallthrough = "test0"
+    arm_last.fallthrough = "join"
+    return KernelResult(Program(blocks), init_mem)
+
+
+def build_pointer_chase_kernel(
+    seed: int = 3,
+    nodes: int = 1024,
+    payload_ops: int = 2,
+    spread: int = 4096,
+    noise_period: int = 16,
+    strided_payload: bool = False,
+) -> KernelResult:
+    """Walk a shuffled ring of linked nodes.
+
+    Each node is ``spread`` bytes apart in a permuted order, so next-pointer
+    values form a long-period sequence that neither stride nor realistic
+    context predictors capture, and the chase serialises the loads.  The
+    payload lives on a *different* cache line than the next pointer
+    (``spread/2`` bytes in), so reading it cannot accidentally prefetch the
+    next node and shortcut the dependent-miss chain.  Payload values are
+    hashed per node (unpredictable) unless ``strided_payload`` asks for the
+    friendlier variant some memory-bound FP codes show.
+    """
+    if spread < 128 + LINE_BYTES_SAFE:
+        raise ValueError(f"spread too small for distinct lines: {spread}")
+    rng = XorShift64(seed ^ 0xABCDEF)
+    order = list(range(nodes))
+    # Fisher-Yates with the deterministic RNG.
+    for k in range(nodes - 1, 0, -1):
+        j = rng.next_below(k + 1)
+        order[k], order[j] = order[j], order[k]
+    addr_of = [RING_BASE + idx * spread for idx in order]
+    payload_off = spread // 2
+    init_mem: dict[int, int] = {}
+    for k in range(nodes):
+        nxt = addr_of[(k + 1) % nodes]
+        init_mem[addr_of[k]] = nxt              # node.next
+        if strided_payload:
+            payload = 3 * k + 11
+        else:
+            payload = rng.next_u64()
+        init_mem[addr_of[k] + payload_off] = payload
+
+    f = InstFactory(seed)
+    ptr, pay, acc, i = int_reg(1), int_reg(2), int_reg(3), int_reg(4)
+    zero, rnd, bit = int_reg(5), int_reg(14), int_reg(15)
+
+    entry = BasicBlock("entry")
+    entry.add(f.li(ptr, addr_of[0]))
+    entry.add(f.li(zero, 0))
+    entry.add(f.li(i, 0))
+
+    loop = BasicBlock("loop")
+    loop.add(f.load(ptr, ptr))          # ptr = ptr->next (serialising)
+    loop.add(f.load(pay, ptr, imm=payload_off))   # payload, separate line
+    for k in range(payload_ops):
+        loop.add(f.add(acc, acc, pay))
+    loop.add(f.addi(i, i, 1))
+    loop.add(f.jmp("noise_chk"))
+    noise = _noise_blocks(f, "noise", i, rnd, bit, zero, acc, "loop", noise_period)
+
+    return KernelResult(Program([entry, loop] + noise), init_mem)
+
+
+def build_random_kernel(
+    seed: int = 4,
+    body_ops: int = 4,
+    branch_entropy_bits: int = 1,
+) -> KernelResult:
+    """PRNG-driven values and data-dependent branches.
+
+    ``branch_entropy_bits`` low bits of the random value steer a conditional
+    branch, making it essentially unpredictable; all produced values are
+    uncorrelated, bounding predictor coverage from below.
+    """
+    f = InstFactory(seed)
+    rnd, acc, bit, zero = int_reg(1), int_reg(2), int_reg(3), int_reg(4)
+
+    entry = BasicBlock("entry")
+    entry.add(f.li(zero, 0))
+    entry.add(f.li(acc, 0))
+
+    loop = BasicBlock("loop")
+    loop.add(f.make(Opcode.RAND, dests=(rnd,)))
+    for k in range(body_ops):
+        loop.add(f.make(Opcode.XOR, dests=(acc,), srcs=(acc, rnd)))
+    loop.add(
+        f.make(
+            Opcode.ANDI, dests=(bit,), srcs=(rnd,),
+            imm=(1 << branch_entropy_bits) - 1,
+        )
+    )
+    loop.add(f.branch(Opcode.BEQ, bit, zero, "even"))
+
+    odd = BasicBlock("odd")
+    odd.add(f.addi(acc, acc, 1))
+    odd.add(f.jmp("loop"))
+
+    even = BasicBlock("even")
+    even.add(f.addi(acc, acc, 2))
+    even.add(f.jmp("loop"))
+
+    return KernelResult(Program([entry, loop, odd, even]))
+
+
+def build_constant_kernel(
+    seed: int = 5,
+    change_period: int = 4096,
+    body_ops: int = 3,
+    noise_period: int = 16,
+) -> KernelResult:
+    """Reload of a value that changes only every ``change_period`` iterations.
+
+    Classic last-value behaviour: the load is almost always equal to its
+    previous instance, occasionally stepping.
+    """
+    f = InstFactory(seed)
+    i, n, val, acc, cfg = int_reg(1), int_reg(2), int_reg(3), int_reg(4), int_reg(5)
+    zero, rnd, bit = int_reg(6), int_reg(14), int_reg(15)
+
+    entry = BasicBlock("entry")
+    entry.add(f.li(zero, 0))
+    entry.add(f.li(i, 0))
+    entry.add(f.li(n, change_period))
+    entry.add(f.li(cfg, DATA_BASE + 0x8000))
+    entry.add(f.li(val, 555))
+    entry.add(f.store(cfg, val))
+
+    loop = BasicBlock("loop")
+    loop.add(f.load(val, cfg))                      # near-constant value
+    for k in range(body_ops):
+        loop.add(f.add(acc, acc, val))
+    loop.add(f.addi(i, i, 1))
+    loop.add(f.branch(Opcode.BLT, i, n, "noise_chk"))
+
+    step = BasicBlock("step")                        # rare: bump the constant
+    step.add(f.load(val, cfg))
+    step.add(f.addi(val, val, 77))
+    step.add(f.store(cfg, val))
+    step.add(f.li(i, 0))
+    step.add(f.jmp("loop"))
+    noise = _noise_blocks(f, "noise", i, rnd, bit, zero, acc, "loop", noise_period)
+
+    return KernelResult(Program([entry, loop, step] + noise))
+
+
+def build_mixed_kernel(
+    seed: int = 6,
+    trip: int = 48,
+    strided_ops: int = 2,
+    control_arms: int = 2,
+    random_ops: int = 1,
+    loads: int = 1,
+    muls: int = 1,
+    use_divmod: bool = False,
+    noise_period: int = 16,
+) -> KernelResult:
+    """A loop combining strided, control-dependent and random components.
+
+    The workhorse for "middle of the pack" benchmarks (parser, vortex,
+    h264ref...): some coverage for every predictor, full for none.
+    """
+    f = InstFactory(seed)
+    i, n, addr, acc = int_reg(1), int_reg(2), int_reg(3), int_reg(4)
+    zero, sel, out, rnd = int_reg(5), int_reg(6), int_reg(7), int_reg(8)
+    bit = int_reg(15)
+    ld = int_reg(9)
+    q, r = int_reg(10), int_reg(11)
+
+    entry = BasicBlock("entry")
+    entry.add(f.li(zero, 0))
+    entry.add(f.li(i, 0))
+    entry.add(f.li(n, trip))
+    entry.add(f.li(addr, DATA_BASE + 0x20000))
+    entry.add(f.li(acc, 1))
+
+    fill = BasicBlock("fill")
+    fill.add(f.store(addr, i))
+    fill.add(f.addi(addr, addr, 8))
+    fill.add(f.addi(i, i, 1))
+    fill.add(f.branch(Opcode.BLT, i, n, "fill"))
+
+    head = BasicBlock("head")
+    head.add(f.li(addr, DATA_BASE + 0x20000))
+    head.add(f.li(i, 0))
+
+    loop = BasicBlock("loop")
+    for k in range(strided_ops):
+        loop.add(f.addi(acc, acc, 9 + 2 * k))
+    for k in range(loads):
+        loop.add(f.load(ld, addr, imm=8 * k))
+    # The load (strided, predictable) feeds a serial add chain: correct
+    # predictions collapse a 4-cycle L1 hit plus the adds.
+    loop.add(f.add(acc, acc, ld))
+    for _ in range(muls):
+        loop.add(f.make(Opcode.MUL, dests=(out,), srcs=(acc, acc)))
+    if use_divmod:
+        loop.add(f.make(Opcode.DIVMOD, dests=(q, r), srcs=(ld, acc)))
+    for _ in range(random_ops):
+        loop.add(f.make(Opcode.RAND, dests=(rnd,)))
+    loop.add(f.make(Opcode.ANDI, dests=(sel,), srcs=(i,), imm=control_arms - 1))
+    loop.add(f.branch(Opcode.BNE, sel, zero, "armB"))
+
+    arm_a = BasicBlock("armA")
+    arm_a.add(f.addi(out, zero, 4242))
+    arm_a.add(f.jmp("tail"))
+
+    arm_b = BasicBlock("armB")
+    arm_b.add(f.addi(out, zero, 1717))
+
+    tail = BasicBlock("tail")
+    tail.add(f.add(acc, acc, out))
+    tail.add(f.addi(addr, addr, 8))
+    tail.add(f.addi(i, i, 1))
+    tail.add(f.branch(Opcode.BLT, i, n, "noise_chk"))
+
+    back = BasicBlock("back")
+    back.add(f.jmp("head"))
+    noise = _noise_blocks(f, "noise", i, rnd, bit, zero, acc, "loop", noise_period)
+
+    return KernelResult(
+        Program([entry, fill, head, loop, arm_a, arm_b, tail, back] + noise)
+    )

@@ -1,0 +1,208 @@
+"""The 36-workload suite mirroring Table II of the paper.
+
+Each SPEC benchmark from Table II is represented by one synthetic workload
+whose kernel mix mimics the benchmark's published character: FP array codes
+are strided and highly value-predictable, pointer chasers are memory-bound
+and unpredictable, compilers/interpreters are control-flow-correlated, game
+engines are the unpredictable floor.  ``paper_ipc`` records the baseline IPC
+the paper reports (Table II) so the Table-II bench can print both side by
+side.
+
+The per-benchmark assignments are substitutions (see DESIGN.md §2): what is
+preserved is the *predictability class* and the loop structure (multi-block
+loop bodies with several iterations in flight for the spec-window-sensitive
+benchmarks wupwise/applu/bzip2/xalancbmk), not the actual SPEC computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.workloads import kernels
+from repro.workloads.kernels import KernelResult
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One named workload of the suite."""
+
+    name: str
+    suite: str                      # "CPU2000" | "CPU2006"
+    category: str                   # "INT" | "FP"
+    paper_ipc: float                # baseline IPC reported in Table II
+    builder: Callable[..., KernelResult]
+    params: dict[str, object] = field(default_factory=dict)
+    seed: int = 42
+
+    def build(self) -> KernelResult:
+        return self.builder(seed=self.seed, **self.params)
+
+
+def _spec(
+    name: str,
+    suite: str,
+    category: str,
+    ipc: float,
+    builder: Callable[..., KernelResult],
+    seed: int,
+    **params: object,
+) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name,
+        suite=suite,
+        category=category,
+        paper_ipc=ipc,
+        builder=builder,
+        params=params,
+        seed=seed,
+    )
+
+
+#: All 36 workloads, in Table II order (CPU2000 first, then CPU2006).
+SUITE: tuple[WorkloadSpec, ...] = (
+    # ----- SPEC CPU2000 --------------------------------------------------
+    # gzip: tight compression loops, partially strided (tables/indexes).
+    _spec("gzip", "CPU2000", "INT", 0.845, kernels.build_mixed_kernel, 101,
+          trip=96, strided_ops=3, control_arms=2, random_ops=1, loads=2),
+    # wupwise: unrolled FP loops spanning ~10 fetch blocks with several
+    # iterations in flight -> strided AND spec-window sensitive (Fig 7b).
+    _spec("wupwise", "CPU2000", "FP", 1.303, kernels.build_strided_kernel, 102,
+          trip=48, body_fp_ops=20, body_int_ops=8, loads=5, stores=2,
+          fp_chains=2, value_stride=24),
+    # swim/mgrid/applu: classic strided FP array codes, the big VP winners.
+    _spec("swim", "CPU2000", "FP", 1.745, kernels.build_strided_kernel, 103,
+          trip=128, body_fp_ops=6, body_int_ops=3, loads=3, stores=1,
+          value_stride=16),
+    _spec("mgrid", "CPU2000", "FP", 2.361, kernels.build_strided_kernel, 104,
+          trip=256, body_fp_ops=8, body_int_ops=2, loads=4, stores=1,
+          value_stride=8),
+    _spec("applu", "CPU2000", "FP", 1.481, kernels.build_strided_kernel, 105,
+          trip=40, body_fp_ops=24, body_int_ops=6, loads=5, stores=2,
+          fp_chains=2, value_stride=40),
+    # vpr: place-and-route, pointer/graph heavy with random flavour.
+    _spec("vpr", "CPU2000", "INT", 0.668, kernels.build_pointer_chase_kernel, 106,
+          nodes=512, payload_ops=3, spread=1024),
+    # mesa: rendering, control-dependent values with strided background.
+    _spec("mesa", "CPU2000", "FP", 1.021, kernels.build_control_dep_kernel, 107,
+          period=8, arms=4, strided_ops=2),
+    # art: neural-net simulation, memory streaming, medium predictability.
+    _spec("art", "CPU2000", "FP", 0.441, kernels.build_pointer_chase_kernel, 108,
+          nodes=4096, payload_ops=2, spread=512),
+    # equake: sparse FP, mixed.
+    _spec("equake", "CPU2000", "FP", 0.655, kernels.build_mixed_kernel, 109,
+          trip=64, strided_ops=2, control_arms=2, random_ops=1, loads=2, muls=1),
+    # crafty: chess, branchy with some history-correlated values.
+    _spec("crafty", "CPU2000", "INT", 1.562, kernels.build_control_dep_kernel, 110,
+          period=16, arms=5, strided_ops=1, random_ops=1),
+    # ammp: molecular dynamics, strided with longer bodies.
+    _spec("ammp", "CPU2000", "FP", 1.258, kernels.build_strided_kernel, 111,
+          trip=96, body_fp_ops=5, body_int_ops=2, loads=2, stores=1),
+    # parser: dictionary walking, mixed with pointer flavour.
+    _spec("parser", "CPU2000", "INT", 0.486, kernels.build_mixed_kernel, 112,
+          trip=56, strided_ops=1, control_arms=4, random_ops=1, loads=2),
+    # vortex: OO database, near-constant reloads + control dependence.
+    _spec("vortex", "CPU2000", "INT", 1.526, kernels.build_constant_kernel, 113,
+          change_period=2048, body_ops=4),
+    # twolf: placement, pointer chasing, lowest IPC of CPU2000.
+    _spec("twolf", "CPU2000", "INT", 0.282, kernels.build_pointer_chase_kernel, 114,
+          nodes=2048, payload_ops=2, spread=2048),
+    # ----- SPEC CPU2006 --------------------------------------------------
+    # perlbench: interpreter dispatch -> strongly history-correlated.
+    _spec("perlbench", "CPU2006", "INT", 1.400, kernels.build_control_dep_kernel, 115,
+          period=8, arms=6, strided_ops=1),
+    # bzip2: medium modelling loops -> strided, spec-window sensitive.
+    _spec("bzip2", "CPU2006", "INT", 0.702, kernels.build_strided_kernel, 116,
+          trip=32, body_fp_ops=14, body_int_ops=10, loads=4, stores=2,
+          fp_chains=2, value_stride=8),
+    # gcc: compiler, control-dependent with random sprinkling.
+    _spec("gcc", "CPU2006", "INT", 1.002, kernels.build_control_dep_kernel, 117,
+          period=16, arms=6, strided_ops=1, random_ops=1),
+    # gamess: quantum chemistry, long strided FP bodies.
+    _spec("gamess", "CPU2006", "FP", 1.694, kernels.build_strided_kernel, 118,
+          trip=192, body_fp_ops=7, body_int_ops=3, loads=3, stores=1),
+    # mcf: THE pointer chaser, lowest IPC of the table.
+    _spec("mcf", "CPU2006", "INT", 0.113, kernels.build_pointer_chase_kernel, 119,
+          nodes=16384, payload_ops=1, spread=4096),
+    # milc: lattice QCD, strided streaming.
+    _spec("milc", "CPU2006", "FP", 0.501, kernels.build_strided_kernel, 120,
+          trip=160, body_fp_ops=4, body_int_ops=2, loads=4, stores=2,
+          value_stride=32),
+    # gromacs: MD, strided with control.
+    _spec("gromacs", "CPU2006", "FP", 0.753, kernels.build_mixed_kernel, 121,
+          trip=80, strided_ops=3, control_arms=2, random_ops=0, loads=2, muls=2),
+    # leslie3d: CFD, heavily strided.
+    _spec("leslie3d", "CPU2006", "FP", 2.151, kernels.build_strided_kernel, 122,
+          trip=224, body_fp_ops=8, body_int_ops=2, loads=4, stores=1,
+          value_stride=8),
+    # namd: MD, strided with longer bodies, high IPC.
+    _spec("namd", "CPU2006", "FP", 1.781, kernels.build_strided_kernel, 123,
+          trip=144, body_fp_ops=6, body_int_ops=4, loads=2, stores=1),
+    # gobmk: go engine, unpredictable floor.
+    _spec("gobmk", "CPU2006", "INT", 0.733, kernels.build_random_kernel, 124,
+          body_ops=4, branch_entropy_bits=1),
+    # soplex: LP solver, sparse memory + mixed.
+    _spec("soplex", "CPU2006", "FP", 0.271, kernels.build_pointer_chase_kernel, 125,
+          nodes=8192, payload_ops=2, spread=2048),
+    # povray: ray tracing, control-dependent FP.
+    _spec("povray", "CPU2006", "FP", 1.465, kernels.build_control_dep_kernel, 126,
+          period=8, arms=4, strided_ops=2),
+    # hmmer: profile HMM, regular high-IPC loops with strided indexes.
+    _spec("hmmer", "CPU2006", "INT", 2.037, kernels.build_strided_kernel, 127,
+          trip=128, body_fp_ops=2, body_int_ops=6, loads=3, stores=1),
+    # sjeng: chess, unpredictable.
+    _spec("sjeng", "CPU2006", "INT", 1.182, kernels.build_random_kernel, 128,
+          body_ops=5, branch_entropy_bits=1),
+    # GemsFDTD: FDTD solver, strided, tightish loops (spec-window gains).
+    _spec("GemsFDTD", "CPU2006", "FP", 1.146, kernels.build_strided_kernel, 129,
+          trip=56, body_fp_ops=3, body_int_ops=2, loads=2, stores=1,
+          value_stride=40),
+    # libquantum: quantum simulation, perfectly strided streaming.
+    _spec("libquantum", "CPU2006", "INT", 0.459, kernels.build_strided_kernel, 130,
+          trip=256, body_fp_ops=1, body_int_ops=4, loads=2, stores=2,
+          value_stride=48),
+    # h264ref: video encoding, mixed with multiply + divmod.
+    _spec("h264ref", "CPU2006", "INT", 1.008, kernels.build_mixed_kernel, 131,
+          trip=72, strided_ops=2, control_arms=4, random_ops=1, loads=2,
+          muls=1, use_divmod=True),
+    # lbm: lattice Boltzmann, strided streaming, memory heavy.
+    _spec("lbm", "CPU2006", "FP", 0.380, kernels.build_strided_kernel, 132,
+          trip=320, body_fp_ops=5, body_int_ops=1, loads=4, stores=3,
+          value_stride=8),
+    # omnetpp: discrete event simulation, pointer chasing.
+    _spec("omnetpp", "CPU2006", "INT", 0.304, kernels.build_pointer_chase_kernel, 133,
+          nodes=8192, payload_ops=2, spread=4096),
+    # astar: path finding, pointer-ish with control dependence.
+    _spec("astar", "CPU2006", "INT", 1.165, kernels.build_mixed_kernel, 134,
+          trip=64, strided_ops=1, control_arms=4, random_ops=1, loads=2),
+    # sphinx3: speech recognition, strided FP with control.
+    _spec("sphinx3", "CPU2006", "FP", 0.803, kernels.build_mixed_kernel, 135,
+          trip=88, strided_ops=3, control_arms=2, random_ops=0, loads=3, muls=1),
+    # xalancbmk: XML transform, tight traversal loops, history-correlated,
+    # spec-window sensitive in the paper.
+    _spec("xalancbmk", "CPU2006", "INT", 1.835, kernels.build_strided_kernel, 136,
+          trip=24, body_fp_ops=10, body_int_ops=14, loads=4, stores=1,
+          fp_chains=1, value_stride=16),
+)
+
+_BY_NAME: dict[str, WorkloadSpec] = {spec.name: spec for spec in SUITE}
+
+
+def all_workload_names() -> tuple[str, ...]:
+    """Names of the full 36-benchmark suite, in Table II order."""
+    return tuple(spec.name for spec in SUITE)
+
+
+def get_spec(name: str) -> WorkloadSpec:
+    """Look up one workload spec by benchmark name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {', '.join(_BY_NAME)}"
+        ) from None
+
+
+def build_workload(name: str) -> KernelResult:
+    """Build (program + initial memory) for a named workload."""
+    return get_spec(name).build()

@@ -1,0 +1,177 @@
+"""Unit tests for the block-based D-VTAGE predictor."""
+
+import pytest
+
+from repro.bebop.attribution import FREE_TAG
+from repro.bebop.predictor import BlockDVTAGE, BlockDVTAGEConfig
+from repro.common.bits import to_unsigned
+from repro.predictors.base import HistoryState
+
+BLOCK = 0x40_0040
+HIST = HistoryState(0, 0)
+
+
+def train_stream(pred, block, instances, hist=HIST, use_spec=False):
+    """Feed retired block instances [(boundary, value), ...] sequentially,
+    reading before each update (read -> compose -> update)."""
+    readouts = []
+    for retired in instances:
+        readout = pred.read(block, hist)
+        last = readout.lvt_last
+        pred.compose(readout, last)
+        pred.update(readout, retired)
+        readouts.append(readout)
+    return readouts
+
+
+class TestConfig:
+    def test_defaults(self):
+        c = BlockDVTAGEConfig()
+        assert c.npred == 6 and c.base_entries == 2048 and c.tagged_entries == 256
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockDVTAGEConfig(base_entries=1000)
+        with pytest.raises(ValueError):
+            BlockDVTAGEConfig(npred=0)
+
+
+class TestReadUpdate:
+    def test_cold_read_misses(self):
+        pred = BlockDVTAGE()
+        r = pred.read(BLOCK, HIST)
+        assert not r.lvt_hit
+        assert r.byte_tags == [FREE_TAG] * 6
+        assert r.provider == 0
+
+    def test_first_update_allocates_lvt(self):
+        pred = BlockDVTAGE()
+        train_stream(pred, BLOCK, [[(3, 100), (7, 200)]])
+        r = pred.read(BLOCK, HIST)
+        assert r.lvt_hit
+        assert r.byte_tags[:2] == [3, 7]
+        assert r.lvt_last[:2] == [100, 200]
+
+    def test_strided_block_learns(self):
+        pred = BlockDVTAGE()
+        instances = [[(3, 100 + 8 * i), (7, 5000 + 24 * i)] for i in range(600)]
+        train_stream(pred, BLOCK, instances)
+        r = pred.read(BLOCK, HIST)
+        values = pred.compose(r, r.lvt_last)
+        assert values[0] == 100 + 8 * 600
+        assert values[1] == 5000 + 24 * 600
+        assert pred.is_confident(r, 0)
+        assert pred.is_confident(r, 1)
+
+    def test_confidence_resets_on_change(self):
+        pred = BlockDVTAGE()
+        instances = [[(3, 8 * i)] for i in range(400)]
+        train_stream(pred, BLOCK, instances)
+        r = pred.read(BLOCK, HIST)
+        assert pred.is_confident(r, 0)
+        # Break the pattern.
+        train_stream(pred, BLOCK, [[(3, 999999)]])
+        r2 = pred.read(BLOCK, HIST)
+        assert not pred.is_confident(r2, 0)
+
+    def test_more_results_than_slots(self):
+        """Extra results beyond npred lose coverage but must not crash."""
+        pred = BlockDVTAGE(BlockDVTAGEConfig(npred=2))
+        instances = [[(1, i), (4, 2 * i), (9, 3 * i), (12, 4 * i)] for i in range(50)]
+        train_stream(pred, BLOCK, instances)
+        r = pred.read(BLOCK, HIST)
+        assert r.byte_tags == [1, 4]
+
+    def test_per_slot_independent_confidence(self):
+        pred = BlockDVTAGE()
+        from repro.common.rng import XorShift64
+        rng = XorShift64(3)
+        instances = [
+            [(3, 8 * i), (7, rng.next_u64())] for i in range(600)
+        ]
+        train_stream(pred, BLOCK, instances)
+        r = pred.read(BLOCK, HIST)
+        assert pred.is_confident(r, 0)
+        assert not pred.is_confident(r, 1)
+
+    def test_empty_update_is_noop(self):
+        pred = BlockDVTAGE()
+        r = pred.read(BLOCK, HIST)
+        pred.compose(r, r.lvt_last)
+        assert pred.update(r, []) == {}
+
+    def test_update_returns_slot_actuals(self):
+        pred = BlockDVTAGE()
+        r = pred.read(BLOCK, HIST)
+        pred.compose(r, r.lvt_last)
+        actuals = pred.update(r, [(3, 42), (7, 43)])
+        assert actuals == {0: 42, 1: 43}
+
+
+class TestComposition:
+    def test_compose_uses_given_last_values(self):
+        """Spec-window substitution: compose with window values, not LVT."""
+        pred = BlockDVTAGE()
+        train_stream(pred, BLOCK, [[(3, 8 * i)] for i in range(300)])
+        r = pred.read(BLOCK, HIST)
+        window_values = [10_000] * 6
+        values = pred.compose(r, window_values)
+        assert values[0] == 10_008  # window last + learned stride 8
+
+    def test_partial_stride_sign_extension(self):
+        pred = BlockDVTAGE(BlockDVTAGEConfig(stride_bits=8))
+        start = 1 << 20
+        instances = [[(3, to_unsigned(start - 3 * i, 64))] for i in range(400)]
+        train_stream(pred, BLOCK, instances)
+        r = pred.read(BLOCK, HIST)
+        values = pred.compose(r, r.lvt_last)
+        assert values[0] == to_unsigned(start - 3 * 400, 64)
+
+
+class TestHistoryComponents:
+    def test_history_dependent_strides(self):
+        """Different histories select different strides (the D in D-VTAGE)."""
+        pred = BlockDVTAGE()
+        hist_a, hist_b = HistoryState(0b1010, 0), HistoryState(0b0101, 0)
+        value = 0
+        # Alternate: stride 5 under hist_a, stride 11 under hist_b.
+        for i in range(800):
+            hist = hist_a if i % 2 == 0 else hist_b
+            value = to_unsigned(value + (5 if i % 2 == 0 else 11), 64)
+            r = pred.read(BLOCK, hist)
+            pred.compose(r, r.lvt_last)
+            pred.update(r, [(3, value)])
+        # Next instance under hist_a must predict +5 over the last value.
+        r = pred.read(BLOCK, hist_a)
+        values = pred.compose(r, r.lvt_last)
+        assert values[0] == to_unsigned(value + 5, 64)
+        assert pred.is_confident(r, 0)
+
+    def test_allocation_propagates_confidence(self):
+        """§III-D-b: correct slots keep their counters in the new entry."""
+        config = BlockDVTAGEConfig(propagate_confidence=True)
+        pred = BlockDVTAGE(config)
+        from repro.common.rng import XorShift64
+        rng = XorShift64(7)
+        # Slot 0 strided (correct), slot 1 random (wrong -> allocations).
+        instances = [[(3, 8 * i), (7, rng.next_u64())] for i in range(600)]
+        train_stream(pred, BLOCK, instances)
+        r = pred.read(BLOCK, HIST)
+        # Despite constant allocations caused by slot 1, slot 0 stays usable.
+        assert pred.is_confident(r, 0)
+
+
+class TestStorage:
+    def test_medium_configuration_matches_paper(self):
+        pred = BlockDVTAGE(
+            BlockDVTAGEConfig(
+                npred=6, base_entries=256, tagged_entries=256, stride_bits=8
+            )
+        )
+        window_bits = 32 * (15 + 6 * 64)
+        total_kb = (pred.storage_bits() + window_bits) / 8 / 1000
+        assert abs(total_kb - 32.76) < 0.005
+
+    def test_baseline_290kb(self):
+        pred = BlockDVTAGE(BlockDVTAGEConfig())  # 2K base, 6x256, 64-bit
+        assert abs(pred.storage_bits() / 8 / 1000 - 289.0) < 0.5

@@ -1,0 +1,98 @@
+"""Unit tests for the cache hierarchy and DRAM model."""
+
+import pytest
+
+from repro.pipeline.caches import LINE_BYTES, Cache, MemoryHierarchy
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        c = Cache(1024, ways=2, latency=4)
+        assert not c.access(0x1000)
+        assert c.access(0x1000)
+        assert c.hits == 1 and c.misses == 1
+
+    def test_same_line_hits(self):
+        c = Cache(1024, ways=2, latency=4)
+        c.access(0x1000)
+        assert c.access(0x1000 + LINE_BYTES - 1)
+
+    def test_lru_eviction(self):
+        c = Cache(2 * LINE_BYTES, ways=2, latency=1)  # 1 set, 2 ways
+        a, b, d = 0x0, 0x1000, 0x2000
+        c.access(a)
+        c.access(b)
+        c.access(a)      # b is now LRU
+        c.access(d)      # evicts b
+        assert c.probe(a)
+        assert not c.probe(b)
+
+    def test_probe_no_allocate(self):
+        c = Cache(1024, ways=2, latency=1)
+        assert not c.probe(0x5000)
+        assert not c.probe(0x5000)
+        assert c.misses == 0  # probe counts nothing
+
+    def test_fill(self):
+        c = Cache(1024, ways=2, latency=1)
+        c.fill(0x3000)
+        assert c.probe(0x3000)
+        assert c.misses == 0
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Cache(1024, ways=3, latency=1)
+
+
+class TestMemoryHierarchy:
+    def test_l1_hit_latency(self):
+        m = MemoryHierarchy()
+        m.load_latency(0x8000)          # install
+        assert m.load_latency(0x8000) == m.l1d.latency
+
+    def test_l2_hit_latency(self):
+        m = MemoryHierarchy(l1d_size=2 * LINE_BYTES, l1_ways=2)
+        m.load_latency(0x0)
+        m.load_latency(0x10000)
+        m.load_latency(0x20000)          # evicts 0x0 from tiny L1
+        lat = m.load_latency(0x0)        # L1 miss, L2 hit
+        assert lat == m.l1d.latency + m.l2.latency
+
+    def test_dram_latency_range(self):
+        m = MemoryHierarchy()
+        lat = m.load_latency(0x9999_0000)
+        assert lat >= m.l1d.latency + m.l2.latency + m.dram_min_latency
+        assert lat <= m.l1d.latency + m.l2.latency + m.dram_max_latency
+
+    def test_row_buffer_hit_is_min_latency(self):
+        m = MemoryHierarchy(l1d_size=2 * LINE_BYTES, l1_ways=2,
+                            l2_size=4 * LINE_BYTES, l2_ways=4)
+        base = 0x4000_0000
+        m.load_latency(base)                 # opens the row
+        # Same 8K row, different line; thrash caches with tiny sizes so the
+        # second access also reaches DRAM.
+        lat = m.load_latency(base + 2 * LINE_BYTES)
+        assert lat == m.l1d.latency + m.l2.latency + m.dram_min_latency
+
+    def test_prefetcher_fills_l2(self):
+        m = MemoryHierarchy(prefetch_degree=8)
+        m.load_latency(0x7000_0000)
+        assert m.l2.probe(0x7000_0000 + LINE_BYTES)
+        assert m.l2.probe(0x7000_0000 + 8 * LINE_BYTES)
+
+    def test_ifetch_path(self):
+        m = MemoryHierarchy()
+        first = m.ifetch_latency(0x40_0040)
+        second = m.ifetch_latency(0x40_0040)
+        assert first > second
+        assert second == m.l1i.latency
+
+    def test_store_allocates(self):
+        m = MemoryHierarchy()
+        m.store_latency(0xA000)
+        assert m.load_latency(0xA000) == m.l1d.latency
+
+    def test_dram_access_counted(self):
+        m = MemoryHierarchy()
+        m.load_latency(0x1234_0000)
+        assert m.dram_accesses == 1

@@ -1,0 +1,106 @@
+"""Unit tests for saturating and forward probabilistic counters."""
+
+import pytest
+
+from repro.common.counters import (
+    PAPER_FPC_PROBABILITIES,
+    ForwardProbabilisticCounter,
+    SaturatingCounter,
+)
+from repro.common.rng import XorShift64
+
+
+class TestSaturatingCounter:
+    def test_initial(self):
+        c = SaturatingCounter(bits=2)
+        assert c.value == 0
+        assert c.max_value == 3
+
+    def test_saturates_up(self):
+        c = SaturatingCounter(bits=2)
+        for _ in range(10):
+            c.increment()
+        assert c.value == 3
+        assert c.is_saturated
+
+    def test_saturates_down(self):
+        c = SaturatingCounter(bits=2, initial=1)
+        for _ in range(10):
+            c.decrement()
+        assert c.value == 0
+
+    def test_reset(self):
+        c = SaturatingCounter(bits=3, initial=5)
+        c.reset()
+        assert c.value == 0
+
+    def test_reset_out_of_range(self):
+        c = SaturatingCounter(bits=2)
+        with pytest.raises(ValueError):
+            c.reset(4)
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+
+    def test_bad_initial(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=2, initial=4)
+
+
+class TestFPCProbabilities:
+    def test_paper_vector_length(self):
+        # 3-bit counter -> 7 transitions.
+        assert len(PAPER_FPC_PROBABILITIES) == 7
+
+    def test_paper_vector_values(self):
+        assert PAPER_FPC_PROBABILITIES[0] == 1.0
+        assert PAPER_FPC_PROBABILITIES[1] == 1 / 16
+        assert PAPER_FPC_PROBABILITIES[5] == 1 / 32
+
+    def test_expected_corrects_to_saturate(self):
+        # E[corrects] = 1 + 4*16 + 2*32 = 129: the "couple hundred correct
+        # predictions" gate of the paper.
+        expected = sum(1 / p for p in PAPER_FPC_PROBABILITIES)
+        assert expected == 129
+
+
+class TestForwardProbabilisticCounter:
+    def test_first_step_always_advances(self):
+        c = ForwardProbabilisticCounter()
+        c.on_correct()
+        assert c.value == 1
+
+    def test_reset_on_incorrect(self):
+        c = ForwardProbabilisticCounter(initial=5)
+        c.on_incorrect()
+        assert c.value == 0
+
+    def test_confident_only_at_max(self):
+        c = ForwardProbabilisticCounter()
+        assert not c.is_confident
+        c.set(c.max_value)
+        assert c.is_confident
+
+    def test_eventually_saturates(self):
+        c = ForwardProbabilisticCounter(rng=XorShift64(7))
+        for _ in range(5000):
+            c.on_correct()
+        assert c.is_confident
+
+    def test_set_out_of_range(self):
+        c = ForwardProbabilisticCounter()
+        with pytest.raises(ValueError):
+            c.set(8)
+
+    def test_wrong_probability_count(self):
+        with pytest.raises(ValueError):
+            ForwardProbabilisticCounter(bits=2, probabilities=(1.0,) * 7)
+
+    def test_deterministic_with_seed(self):
+        a = ForwardProbabilisticCounter(rng=XorShift64(3))
+        b = ForwardProbabilisticCounter(rng=XorShift64(3))
+        for _ in range(500):
+            a.on_correct()
+            b.on_correct()
+        assert a.value == b.value

@@ -1,0 +1,107 @@
+"""Tests for the experiment harness (runner, experiments, reporting)."""
+
+import pytest
+
+from repro.eval import experiments, reporting
+from repro.eval.runner import (
+    RunSpec,
+    clear_trace_cache,
+    get_trace,
+    make_bebop_engine,
+    make_instr_predictor,
+)
+
+TINY = RunSpec(uops=8_000, warmup=2_000, workloads=("swim", "gobmk"))
+
+
+class TestRunner:
+    def test_trace_cache(self):
+        clear_trace_cache()
+        t1 = get_trace("swim", 5000)
+        t2 = get_trace("swim", 5000)
+        assert t1 is t2
+        t3 = get_trace("swim", 6000)
+        assert t3 is not t1
+
+    def test_make_instr_predictor_kinds(self):
+        for kind in ("lvp", "2d-stride", "vtage", "vtage-2d-stride", "d-vtage"):
+            p = make_instr_predictor(kind)
+            assert p.storage_bits() > 0
+
+    def test_make_instr_predictor_unknown(self):
+        with pytest.raises(ValueError):
+            make_instr_predictor("oracle")
+
+    def test_make_bebop_engine_window_conventions(self):
+        assert make_bebop_engine(window=None).window.capacity is None
+        assert make_bebop_engine(window=0).window.capacity == 0
+        assert make_bebop_engine(window=32).window.capacity == 32
+
+    def test_runspec_names_default_full_suite(self):
+        assert len(RunSpec().names()) == 36
+        assert TINY.names() == ("swim", "gobmk")
+
+
+class TestExperiments:
+    def test_table2_structure(self):
+        r = experiments.table2_ipc(TINY)
+        assert set(r) == {"swim", "gobmk"}
+        assert r["swim"]["paper_ipc"] == 1.745
+
+    def test_fig5a_structure(self):
+        r = experiments.fig5a(TINY)
+        assert set(r) == {"swim", "gobmk"}
+        assert set(r["swim"]) == set(experiments.FIG5A_PREDICTORS)
+        for row in r.values():
+            for v in row.values():
+                assert 0.5 < v < 5.0
+
+    def test_fig5b_structure(self):
+        r = experiments.fig5b(TINY)
+        assert set(r) == {"swim", "gobmk"}
+
+    def test_table3_structure(self):
+        r = experiments.table3_storage()
+        assert set(r) == {"Small_4p", "Small_6p", "Medium", "Large"}
+        assert r["Medium"]["computed_kb"] == pytest.approx(32.76, abs=0.005)
+
+    def test_fig7b_window_labels(self):
+        one = RunSpec(uops=6_000, warmup=1_000, workloads=("swim",))
+        r = experiments.fig7b(one)
+        assert set(r) == {"inf", "64", "56", "48", "32", "16", "none"}
+
+    def test_aggregate(self):
+        agg = experiments.aggregate({"a": 1.0, "b": 4.0})
+        assert agg["min"] == 1.0 and agg["max"] == 4.0
+        assert agg["gmean"] == pytest.approx(2.0)
+
+
+class TestReporting:
+    def test_render_per_workload(self):
+        text = reporting.render_per_workload(
+            "T", {"swim": {"x": 1.5}, "mcf": {"x": 0.9}}, ["x"]
+        )
+        assert "swim" in text and "gmean" in text and "1.500" in text
+
+    def test_render_box_summary(self):
+        text = reporting.render_box_summary("T", {"cfg": {"a": 1.0, "b": 2.0}})
+        assert "cfg" in text and "min" in text
+
+    def test_render_table2(self):
+        text = reporting.render_table2(
+            {"swim": {"ipc": 2.0, "paper_ipc": 1.745}}
+        )
+        assert "1.745" in text
+
+    def test_render_table3(self):
+        text = reporting.render_table3(experiments.table3_storage())
+        assert "32.76" in text
+
+    def test_render_partial_strides(self):
+        fake = {
+            64: {"speedups": {"a": 1.0}, "aggregate": {"gmean": 1.0, "min": 1.0,
+                                                       "max": 1.0},
+                 "storage_kb": 289.0},
+        }
+        text = reporting.render_partial_strides(fake)
+        assert "289.0" in text

@@ -1,0 +1,89 @@
+"""Unit tests for global/folded histories."""
+
+import pytest
+
+from repro.common.bits import fold_bits
+from repro.common.history import FoldedHistory, GlobalHistory
+
+
+class TestGlobalHistory:
+    def test_push_outcome(self):
+        h = GlobalHistory(8)
+        h.push_outcome(True)
+        h.push_outcome(False)
+        h.push_outcome(True)
+        assert h.value() == 0b101
+
+    def test_capacity_truncates(self):
+        h = GlobalHistory(4)
+        for _ in range(10):
+            h.push_outcome(True)
+        assert h.value() == 0b1111
+
+    def test_value_with_length(self):
+        h = GlobalHistory(16)
+        h.push(0b110101, 6)
+        assert h.value(3) == 0b101
+        assert h.value(6) == 0b110101
+
+    def test_value_length_beyond_capacity(self):
+        h = GlobalHistory(4)
+        h.push(0b1111, 4)
+        assert h.value(100) == 0b1111
+
+    def test_push_path(self):
+        h = GlobalHistory(8)
+        h.push_path(0b111, bits=2)
+        assert h.value() == 0b11
+
+    def test_snapshot_restore(self):
+        h = GlobalHistory(16)
+        h.push(0b1010, 4)
+        snap = h.snapshot()
+        h.push(0b1111, 4)
+        assert h.value() != 0b1010
+        h.restore(snap)
+        assert h.value() == 0b1010
+
+    def test_clear(self):
+        h = GlobalHistory(8)
+        h.push(0xFF, 8)
+        h.clear()
+        assert h.value() == 0
+
+    def test_folded_matches_fold_bits(self):
+        h = GlobalHistory(64)
+        h.push(0xDEAD_BEEF, 32)
+        assert h.folded(32, 7) == fold_bits(h.value(32), 32, 7)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            GlobalHistory(0)
+
+
+class TestFoldedHistory:
+    def test_matches_direct_fold(self):
+        """Incremental folding equals direct folding of the same history."""
+        length, out = 12, 5
+        fh = FoldedHistory(length, out)
+        bits: list[int] = []
+        for i in range(100):
+            inserted = (i * 7 + 3) & 1
+            evicted = bits[-length] if len(bits) >= length else 0
+            fh.update(inserted, evicted)
+            bits.append(inserted)
+            window = bits[-length:]
+            direct_value = 0
+            for b in window:  # oldest..newest, newest at LSB of shift-in order
+                direct_value = (direct_value << 1) | b
+            assert fh.value == fold_bits(direct_value, length, out), f"step {i}"
+
+    def test_clear(self):
+        fh = FoldedHistory(8, 4)
+        fh.update(1, 0)
+        fh.clear()
+        assert fh.value == 0
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            FoldedHistory(8, 0)

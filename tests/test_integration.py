@@ -1,0 +1,165 @@
+"""End-to-end integration tests: paper-shape assertions on small runs.
+
+These run the full stack (workload -> trace -> pipeline -> predictor) on a
+handful of workloads at reduced scale and assert the qualitative results the
+paper reports.  The full-scale numbers live in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.bebop import BlockDVTAGEConfig, RecoveryPolicy
+from repro.eval.runner import (
+    get_trace,
+    make_bebop_engine,
+    make_instr_predictor,
+    run_baseline,
+    run_bebop_eole,
+    run_eole_instr_vp,
+    run_instr_vp,
+)
+
+UOPS = 60_000
+WARMUP = 20_000
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    names = ("swim", "gcc", "mcf", "gobmk", "wupwise")
+    return {n: run_baseline(get_trace(n, UOPS), WARMUP) for n in names}
+
+
+class TestBaselineCharacter:
+    def test_mcf_memory_bound(self, baselines):
+        assert baselines["mcf"].ipc < 0.3
+
+    def test_fp_codes_moderate_ipc(self, baselines):
+        assert 0.8 < baselines["swim"].ipc < 4.0
+        assert 0.8 < baselines["wupwise"].ipc < 4.0
+
+    def test_branch_mispredicts_present(self, baselines):
+        for name, stats in baselines.items():
+            assert stats.branch_mispredicts > 0, name
+
+    def test_gobmk_branch_hostile(self, baselines):
+        assert baselines["gobmk"].branch_mpki > 20
+
+
+class TestFig5aShape:
+    """D-VTAGE >= naive hybrid >= single-scheme predictors; no slowdown."""
+
+    @pytest.fixture(scope="class")
+    def speedups(self):
+        names = ("swim", "gcc", "mcf", "gobmk")
+        base = {n: run_baseline(get_trace(n, UOPS), WARMUP).ipc for n in names}
+        out = {}
+        for kind in ("2d-stride", "vtage", "d-vtage"):
+            out[kind] = {
+                n: run_instr_vp(get_trace(n, UOPS), make_instr_predictor(kind),
+                                WARMUP).ipc / base[n]
+                for n in names
+            }
+        return out
+
+    def test_no_slowdown_with_dvtage(self, speedups):
+        """Paper: 'no slowdown is observed with D-VTAGE'."""
+        for name, s in speedups["d-vtage"].items():
+            assert s > 0.97, name
+
+    def test_dvtage_wins_on_strided_fp(self, speedups):
+        assert speedups["d-vtage"]["swim"] > 1.2
+        assert speedups["d-vtage"]["swim"] >= speedups["vtage"]["swim"]
+
+    def test_vtage_cannot_do_strided(self, speedups):
+        assert speedups["vtage"]["swim"] < speedups["2d-stride"]["swim"]
+
+    def test_unpredictable_floor_flat(self, speedups):
+        for kind in speedups:
+            assert abs(speedups[kind]["gobmk"] - 1.0) < 0.08
+
+
+class TestVPAccuracy:
+    """FPC confidence must keep used-prediction accuracy extremely high."""
+
+    @pytest.mark.parametrize("name", ["swim", "gcc", "vortex", "libquantum"])
+    def test_accuracy_above_99(self, name):
+        stats = run_instr_vp(
+            get_trace(name, UOPS), make_instr_predictor("d-vtage"), WARMUP
+        )
+        if stats.vp_used > 100:
+            assert stats.vp_accuracy > 0.99
+
+
+class TestFig5bShape:
+    def test_eole4_close_to_vp6(self):
+        """Reducing issue width 6 -> 4 with EOLE costs little (Fig 5b)."""
+        ratios = []
+        for name in ("swim", "gcc", "wupwise"):
+            trace = get_trace(name, UOPS)
+            vp6 = run_instr_vp(trace, make_instr_predictor("d-vtage"), WARMUP)
+            eole4 = run_eole_instr_vp(trace, make_instr_predictor("d-vtage"), WARMUP)
+            ratios.append(eole4.ipc / vp6.ipc)
+        assert min(ratios) > 0.85
+        from repro.pipeline.stats import gmean
+        assert gmean(ratios) > 0.95
+
+
+class TestBeBoPShape:
+    # Block-based FPC convergence needs a couple hundred correct
+    # predictions per (entry, slot): use longer traces here.
+    LONG_UOPS = 120_000
+    LONG_WARMUP = 50_000
+
+    def test_block_dvtage_converges(self):
+        engine = make_bebop_engine(window=32)
+        stats = run_bebop_eole(
+            get_trace("wupwise", self.LONG_UOPS), engine, self.LONG_WARMUP
+        )
+        assert stats.vp_coverage > 0.2
+        assert stats.vp_accuracy > 0.99
+
+    def test_window_none_loses_coverage(self):
+        """Fig 7b: no speculative window -> stride chains cannot be followed
+        in overlapped loops."""
+        with_w = run_bebop_eole(
+            get_trace("wupwise", UOPS), make_bebop_engine(window=32), WARMUP
+        )
+        without = run_bebop_eole(
+            get_trace("wupwise", UOPS), make_bebop_engine(window=0), WARMUP
+        )
+        assert with_w.vp_coverage > without.vp_coverage + 0.1
+        assert with_w.ipc >= without.ipc * 0.98
+
+    def test_window32_close_to_infinite(self):
+        """Fig 7b: 32 entries is a good tradeoff vs infinite."""
+        inf = run_bebop_eole(
+            get_trace("wupwise", UOPS), make_bebop_engine(window=None), WARMUP
+        )
+        w32 = run_bebop_eole(
+            get_trace("wupwise", UOPS), make_bebop_engine(window=32), WARMUP
+        )
+        assert w32.ipc > inf.ipc * 0.95
+
+    def test_medium_config_still_effective(self):
+        """Fig 8: the 32.76KB Medium config keeps most of the benefit."""
+        base = run_baseline(get_trace("swim", self.LONG_UOPS), self.LONG_WARMUP)
+        medium = BlockDVTAGEConfig(
+            npred=6, base_entries=256, tagged_entries=256, stride_bits=8
+        )
+        stats = run_bebop_eole(
+            get_trace("swim", self.LONG_UOPS),
+            make_bebop_engine(medium, window=32),
+            self.LONG_WARMUP,
+        )
+        assert stats.ipc > base.ipc  # still a speedup at ~32KB
+        assert stats.vp_accuracy > 0.99
+
+    def test_recovery_policies_all_safe(self):
+        for policy in RecoveryPolicy:
+            stats = run_bebop_eole(
+                get_trace("bzip2", UOPS),
+                make_bebop_engine(window=None, policy=policy),
+                WARMUP,
+            )
+            assert stats.cycles > 0
+            if stats.vp_used > 100:
+                assert stats.vp_accuracy > 0.98

@@ -1,0 +1,224 @@
+"""Unit and behavioural tests for the pipeline timing model."""
+
+import pytest
+
+from repro.isa import BasicBlock, Opcode, Program, StaticInst
+from repro.pipeline import BASELINE_6_60, PipelineModel, baseline_vp_6_60, eole_4_60
+from repro.pipeline.core import group_block_instances
+from repro.pipeline.vp import InstructionVPAdapter
+from repro.predictors import DVTAGEPredictor
+from repro.workloads import generate_trace
+from repro.workloads.kernels import (
+    build_pointer_chase_kernel,
+    build_random_kernel,
+    build_strided_kernel,
+)
+
+
+def _li(rd, imm, length=4):
+    return StaticInst(Opcode.LI, dests=(rd,), imm=imm, length=length)
+
+
+def straightline_program(n_adds=20):
+    b = BasicBlock("entry")
+    b.add(_li(1, 1))
+    for _ in range(n_adds):
+        b.add(StaticInst(Opcode.ADDI, dests=(2,), srcs=(2,), imm=1, length=4))
+    return Program([b])
+
+
+def serial_chain_program(n=30, op=Opcode.FADD):
+    b = BasicBlock("entry")
+    b.add(_li(17, 1))
+    b.add(_li(18, 2))
+    for _ in range(n):
+        b.add(StaticInst(op, dests=(17,), srcs=(17, 18), length=4))
+    return Program([b])
+
+
+class TestGrouping:
+    def test_groups_cover_trace(self):
+        kr = build_strided_kernel(seed=1, trip=8)
+        trace = generate_trace(kr.program, 500, init_mem=kr.init_mem)
+        groups = group_block_instances(trace.uops)
+        assert groups[0][0] == 0
+        assert groups[-1][1] == len(trace.uops)
+        for (s1, e1), (s2, e2) in zip(groups, groups[1:]):
+            assert e1 == s2
+
+    def test_groups_share_block_pc(self):
+        kr = build_strided_kernel(seed=1, trip=8)
+        trace = generate_trace(kr.program, 500, init_mem=kr.init_mem)
+        for s, e in group_block_instances(trace.uops):
+            pcs = {u.block_pc for u in trace.uops[s:e]}
+            assert len(pcs) == 1
+
+    def test_taken_branch_ends_group(self):
+        kr = build_strided_kernel(seed=1, trip=8)
+        trace = generate_trace(kr.program, 500, init_mem=kr.init_mem)
+        for s, e in group_block_instances(trace.uops):
+            for u in trace.uops[s:e - 1]:
+                assert not (u.is_branch and u.branch_taken)
+
+
+class TestTimingBasics:
+    def test_empty_trace(self):
+        trace = generate_trace(straightline_program(), 0)
+        trace.uops = []
+        stats = PipelineModel(BASELINE_6_60).run(trace)
+        assert stats.cycles == 0
+
+    def test_serial_fp_chain_rate(self):
+        """A serial FADD chain must run at ~3 cycles per op."""
+        trace = generate_trace(serial_chain_program(40, Opcode.FADD), 1000)
+        tl = []
+        PipelineModel(BASELINE_6_60).run(trace, timeline=tl)
+        completes = [t[3] for t in tl[2:]]  # skip the LIs
+        deltas = [b - a for a, b in zip(completes, completes[1:])]
+        assert all(d == 3 for d in deltas)
+
+    def test_independent_ops_overlap(self):
+        """Independent 1-cycle ops must commit several per cycle in steady
+        state (measured via the timeline, past the cold-start I-cache miss)."""
+        b = BasicBlock("entry")
+        for i in range(512):
+            b.add(_li(1 + (i % 8), i))
+        trace = generate_trace(Program([b]), 1000)
+        tl = []
+        PipelineModel(BASELINE_6_60).run(trace, timeline=tl)
+        from collections import Counter
+        per_cycle = Counter(t[4] for t in tl[256:])
+        assert max(per_cycle.values()) >= 4
+
+    def test_issue_width_bounds_throughput(self):
+        narrow = BASELINE_6_60.with_(name="narrow", issue_width=1)
+        b = BasicBlock("entry")
+        for i in range(128):
+            b.add(StaticInst(Opcode.ADD, dests=(1 + i % 8,), srcs=(9, 10), length=4))
+        trace = generate_trace(Program([b]), 1000)
+        wide_stats = PipelineModel(BASELINE_6_60).run(trace)
+        narrow_stats = PipelineModel(narrow).run(trace)
+        assert narrow_stats.cycles > wide_stats.cycles
+
+    def test_div_not_pipelined(self):
+        b = BasicBlock("entry")
+        b.add(_li(1, 100))
+        b.add(_li(2, 3))
+        for i in range(8):
+            b.add(StaticInst(Opcode.DIV, dests=(3 + i % 4,), srcs=(1, 2), length=4))
+        trace = generate_trace(Program([b]), 100)
+        tl = []
+        PipelineModel(BASELINE_6_60).run(trace, timeline=tl)
+        div_completes = sorted(t[3] for t in tl[2:])
+        deltas = [b - a for a, b in zip(div_completes, div_completes[1:])]
+        assert all(d >= 25 for d in deltas)
+
+    def test_pointer_chase_serialises(self):
+        kr = build_pointer_chase_kernel(seed=3, nodes=512, spread=4096,
+                                        noise_period=1 << 20)
+        trace = generate_trace(kr.program, 2000, init_mem=kr.init_mem)
+        stats = PipelineModel(BASELINE_6_60).run(trace)
+        # Each node costs a serialised memory access: IPC far below 1.
+        assert stats.ipc < 0.5
+
+    def test_branch_mispredicts_cost_cycles(self):
+        kr = build_random_kernel(seed=4, branch_entropy_bits=1)
+        trace = generate_trace(kr.program, 5000, init_mem=kr.init_mem)
+        stats = PipelineModel(BASELINE_6_60).run(trace)
+        assert stats.branch_mispredicts > 100
+        assert stats.ipc < 2.0
+
+    def test_commits_in_order(self):
+        kr = build_strided_kernel(seed=1, trip=16)
+        trace = generate_trace(kr.program, 2000, init_mem=kr.init_mem)
+        tl = []
+        PipelineModel(BASELINE_6_60).run(trace, timeline=tl)
+        commits = [t[4] for t in tl]
+        assert all(b >= a for a, b in zip(commits, commits[1:]))
+
+    def test_commit_width_respected(self):
+        kr = build_strided_kernel(seed=1, trip=16)
+        trace = generate_trace(kr.program, 3000, init_mem=kr.init_mem)
+        tl = []
+        model = PipelineModel(BASELINE_6_60)
+        model.run(trace, timeline=tl)
+        from collections import Counter
+        per_cycle = Counter(t[4] for t in tl)
+        assert max(per_cycle.values()) <= BASELINE_6_60.commit_width
+
+    def test_warmup_excluded(self):
+        kr = build_strided_kernel(seed=1, trip=16)
+        trace = generate_trace(kr.program, 4000, init_mem=kr.init_mem)
+        full = PipelineModel(BASELINE_6_60).run(trace)
+        warm = PipelineModel(BASELINE_6_60).run(trace, warmup_uops=2000)
+        assert warm.uops < full.uops
+        assert warm.cycles < full.cycles
+
+    def test_deterministic(self):
+        kr = build_strided_kernel(seed=1, trip=16)
+        trace = generate_trace(kr.program, 3000, init_mem=kr.init_mem)
+        a = PipelineModel(BASELINE_6_60).run(trace)
+        b = PipelineModel(BASELINE_6_60).run(trace)
+        assert a.cycles == b.cycles
+
+
+class TestVPIntegration:
+    def test_vp_requires_adapter(self):
+        with pytest.raises(ValueError):
+            PipelineModel(baseline_vp_6_60())
+
+    def test_vp_speeds_up_strided(self):
+        kr = build_strided_kernel(seed=1, trip=64, body_fp_ops=6, fp_chains=1)
+        trace = generate_trace(kr.program, 60000, init_mem=kr.init_mem)
+        base = PipelineModel(BASELINE_6_60).run(trace, warmup_uops=20000)
+        vp = PipelineModel(
+            baseline_vp_6_60(), InstructionVPAdapter(DVTAGEPredictor())
+        ).run(trace, warmup_uops=20000)
+        assert vp.ipc > base.ipc * 1.1
+        assert vp.vp_accuracy > 0.99
+
+    def test_vp_accuracy_enforced_by_fpc(self):
+        """Used predictions must be overwhelmingly correct (paper: >99.5%)."""
+        kr = build_strided_kernel(seed=1, trip=64)
+        trace = generate_trace(kr.program, 60000, init_mem=kr.init_mem)
+        vp = PipelineModel(
+            baseline_vp_6_60(), InstructionVPAdapter(DVTAGEPredictor())
+        ).run(trace, warmup_uops=20000)
+        assert vp.vp_used > 0
+        assert vp.vp_accuracy > 0.995
+
+    def test_random_workload_never_predicted(self):
+        kr = build_random_kernel(seed=4)
+        trace = generate_trace(kr.program, 20000, init_mem=kr.init_mem)
+        vp = PipelineModel(
+            baseline_vp_6_60(), InstructionVPAdapter(DVTAGEPredictor())
+        ).run(trace, warmup_uops=5000)
+        assert vp.vp_coverage < 0.05
+
+
+class TestEOLE:
+    def test_eole_reduced_issue_close_to_vp6(self):
+        """Fig 5b: EOLE_4_60 must not lose much vs Baseline_VP_6_60."""
+        kr = build_strided_kernel(seed=1, trip=64, body_fp_ops=6, fp_chains=2)
+        trace = generate_trace(kr.program, 60000, init_mem=kr.init_mem)
+        vp6 = PipelineModel(
+            baseline_vp_6_60(), InstructionVPAdapter(DVTAGEPredictor())
+        ).run(trace, warmup_uops=20000)
+        eole4 = PipelineModel(
+            eole_4_60(), InstructionVPAdapter(DVTAGEPredictor())
+        ).run(trace, warmup_uops=20000)
+        assert eole4.ipc > vp6.ipc * 0.9
+
+    def test_eole_counts_early_and_late(self):
+        kr = build_strided_kernel(seed=1, trip=64)
+        trace = generate_trace(kr.program, 40000, init_mem=kr.init_mem)
+        eole = PipelineModel(
+            eole_4_60(), InstructionVPAdapter(DVTAGEPredictor())
+        ).run(trace, warmup_uops=10000)
+        assert eole.early_executed > 0
+        assert eole.late_executed > 0
+
+    def test_eole_without_vp_wouldnt_construct(self):
+        config = eole_4_60()
+        assert config.vp_enabled
+        assert config.issue_width == 4

@@ -1,0 +1,185 @@
+"""Unit tests for program layout and trace generation."""
+
+import pytest
+
+from repro.isa import BasicBlock, Opcode, Program, StaticInst, int_reg
+from repro.isa.program import CODE_BASE_ADDRESS
+from repro.workloads.trace import FETCH_BLOCK_BYTES, TraceGenerator, generate_trace
+
+
+def _li(rd, imm, length=4):
+    return StaticInst(Opcode.LI, dests=(rd,), imm=imm, length=length)
+
+
+def _addi(rd, rs, imm, length=4):
+    return StaticInst(Opcode.ADDI, dests=(rd,), srcs=(rs,), imm=imm, length=length)
+
+
+def _branch(op, a, b, target, length=2):
+    return StaticInst(op, srcs=(a, b), target=target, length=length)
+
+
+def make_counting_loop(trip=5):
+    """entry: i=0, n=trip; loop: i+=1; blt i,n,loop  (then halts)."""
+    entry = BasicBlock("entry")
+    entry.add(_li(1, 0))
+    entry.add(_li(2, trip))
+    loop = BasicBlock("loop")
+    loop.add(_addi(1, 1, 1))
+    loop.add(_branch(Opcode.BLT, 1, 2, "loop"))
+    return Program([entry, loop])
+
+
+class TestProgramLayout:
+    def test_pcs_sequential(self):
+        p = make_counting_loop()
+        pcs = [inst.pc for inst in p.insts]
+        assert pcs[0] == CODE_BASE_ADDRESS
+        for a, b, inst in zip(pcs, pcs[1:], p.insts):
+            assert b == a + inst.length
+
+    def test_blocks_rewritten_in_place(self):
+        """The laid-out instructions must be visible through block.insts
+        (regression: the interpreter once saw pc=-1 copies)."""
+        p = make_counting_loop()
+        for block in p.blocks:
+            for inst in block.insts:
+                assert inst.pc >= CODE_BASE_ADDRESS
+                assert inst.static_id >= 0
+
+    def test_target_resolution(self):
+        p = make_counting_loop()
+        branch = p.blocks[1].insts[-1]
+        assert p.target_pc(branch) == p.block_start_pc["loop"]
+
+    def test_unknown_target_raises(self):
+        b = BasicBlock("b")
+        b.add(_branch(Opcode.BEQ, 1, 2, "nowhere"))
+        with pytest.raises(ValueError):
+            Program([b])
+
+    def test_duplicate_names_raise(self):
+        b1, b2 = BasicBlock("x"), BasicBlock("x")
+        b1.add(_li(1, 0))
+        b2.add(_li(1, 0))
+        with pytest.raises(ValueError):
+            Program([b1, b2])
+
+    def test_empty_block_raises(self):
+        with pytest.raises(ValueError):
+            Program([BasicBlock("empty")])
+
+    def test_entry_defaults_to_first(self):
+        p = make_counting_loop()
+        assert p.entry == "entry"
+        assert p.entry_pc == CODE_BASE_ADDRESS
+
+    def test_code_bytes(self):
+        p = make_counting_loop()
+        assert p.code_bytes() == sum(i.length for i in p.insts)
+
+
+class TestTraceGenerator:
+    def test_loop_executes_trip_times(self):
+        p = make_counting_loop(trip=5)
+        trace = generate_trace(p, 1000)
+        addis = [u for u in trace.uops if u.pc == p.blocks[1].insts[0].pc]
+        assert len(addis) == 5
+        assert [u.value for u in addis] == [1, 2, 3, 4, 5]
+
+    def test_halts_at_program_end(self):
+        p = make_counting_loop(trip=3)
+        gen = TraceGenerator(p)
+        uops = gen.run(1000)
+        assert gen.halted
+        assert len(uops) == 2 + 3 * 2  # entry LIs + 3 x (addi, blt)
+
+    def test_branch_outcomes(self):
+        p = make_counting_loop(trip=3)
+        trace = generate_trace(p, 1000)
+        branches = [u for u in trace.uops if u.is_branch]
+        assert [b.branch_taken for b in branches] == [True, True, False]
+        assert branches[0].branch_target == p.block_start_pc["loop"]
+
+    def test_block_pc_and_boundary(self):
+        p = make_counting_loop()
+        trace = generate_trace(p, 100)
+        for u in trace.uops:
+            assert u.block_pc % FETCH_BLOCK_BYTES == 0
+            assert 0 <= u.boundary < FETCH_BLOCK_BYTES
+            assert u.block_pc + u.boundary == u.pc
+
+    def test_sequence_numbers_monotonic(self):
+        p = make_counting_loop()
+        trace = generate_trace(p, 100)
+        seqs = [u.seq for u in trace.uops]
+        assert seqs == list(range(len(seqs)))
+
+    def test_memory_roundtrip(self):
+        entry = BasicBlock("entry")
+        entry.add(_li(1, 0x2000))       # address
+        entry.add(_li(2, 77))           # value
+        entry.add(StaticInst(Opcode.STORE, srcs=(1, 2), length=4))
+        entry.add(StaticInst(Opcode.LOAD, dests=(3,), srcs=(1,), length=4))
+        trace = generate_trace(Program([entry]), 100)
+        load = [u for u in trace.uops if u.is_load][0]
+        assert load.value == 77
+        assert load.mem_addr == 0x2000
+
+    def test_untouched_memory_deterministic(self):
+        entry = BasicBlock("entry")
+        entry.add(_li(1, 0x3000))
+        entry.add(StaticInst(Opcode.LOAD, dests=(2,), srcs=(1,), length=4))
+        t1 = generate_trace(Program([entry]), 10)
+        entry2 = BasicBlock("entry")
+        entry2.add(_li(1, 0x3000))
+        entry2.add(StaticInst(Opcode.LOAD, dests=(2,), srcs=(1,), length=4))
+        t2 = generate_trace(Program([entry2]), 10)
+        l1 = [u for u in t1.uops if u.is_load][0]
+        l2 = [u for u in t2.uops if u.is_load][0]
+        assert l1.value == l2.value
+
+    def test_init_mem_respected(self):
+        entry = BasicBlock("entry")
+        entry.add(_li(1, 0x4000))
+        entry.add(StaticInst(Opcode.LOAD, dests=(2,), srcs=(1,), length=4))
+        trace = generate_trace(Program([entry]), 10, init_mem={0x4000: 123})
+        assert [u for u in trace.uops if u.is_load][0].value == 123
+
+    def test_rand_deterministic_per_seed(self):
+        entry = BasicBlock("entry")
+        entry.add(StaticInst(Opcode.RAND, dests=(1,), length=4))
+        v1 = generate_trace(Program([entry]), 10, seed=9).uops[0].value
+        entry2 = BasicBlock("entry")
+        entry2.add(StaticInst(Opcode.RAND, dests=(1,), length=4))
+        v2 = generate_trace(Program([entry2]), 10, seed=9).uops[0].value
+        assert v1 == v2
+
+    def test_divmod_values(self):
+        entry = BasicBlock("entry")
+        entry.add(_li(1, 17))
+        entry.add(_li(2, 5))
+        entry.add(StaticInst(Opcode.DIVMOD, dests=(3, 4), srcs=(1, 2), length=4))
+        trace = generate_trace(Program([entry]), 10)
+        divmod_uops = [u for u in trace.uops if u.pc == trace.program.insts[2].pc]
+        assert [u.value for u in divmod_uops] == [3, 2]
+
+    def test_division_by_zero_is_zero(self):
+        entry = BasicBlock("entry")
+        entry.add(_li(1, 17))
+        entry.add(_li(2, 0))
+        entry.add(StaticInst(Opcode.DIV, dests=(3,), srcs=(1, 2), length=4))
+        trace = generate_trace(Program([entry]), 10)
+        assert trace.uops[-1].value == 0
+
+    def test_explicit_fallthrough(self):
+        a = BasicBlock("a", fallthrough="c")
+        a.add(_li(1, 1))
+        b = BasicBlock("b")
+        b.add(_li(2, 2))
+        c = BasicBlock("c")
+        c.add(_li(3, 3))
+        trace = generate_trace(Program([a, b, c]), 10)
+        # Block b must be skipped.
+        dests = [u.dest for u in trace.uops]
+        assert dests == [1, 3]

@@ -1,0 +1,30 @@
+"""Unit tests for the §IV-A recovery policies."""
+
+from repro.bebop.recovery import RecoveryPolicy
+
+
+class TestRecoveryPolicy:
+    def test_all_four_exist(self):
+        assert {p.value for p in RecoveryPolicy} == {
+            "ideal", "repred", "dnrdnr", "dnrr"
+        }
+
+    def test_repredicts(self):
+        assert RecoveryPolicy.IDEAL.repredicts
+        assert RecoveryPolicy.REPRED.repredicts
+        assert not RecoveryPolicy.DNRDNR.repredicts
+        assert not RecoveryPolicy.DNRR.repredicts
+
+    def test_reuse(self):
+        # DnRDnR is the only policy that forbids using the predictions.
+        assert not RecoveryPolicy.DNRDNR.reuses_predictions
+        assert RecoveryPolicy.DNRR.reuses_predictions
+        assert RecoveryPolicy.REPRED.reuses_predictions
+        assert RecoveryPolicy.IDEAL.reuses_predictions
+
+    def test_head_squash(self):
+        # Repred squashes the flushing block's own entries (§IV-A-c).
+        assert RecoveryPolicy.REPRED.squashes_head
+        assert not RecoveryPolicy.DNRR.squashes_head
+        assert not RecoveryPolicy.DNRDNR.squashes_head
+        assert not RecoveryPolicy.IDEAL.squashes_head

@@ -1,0 +1,89 @@
+"""Tests for SimStats, speedup/gmean helpers and CoreConfig."""
+
+import pytest
+
+from repro.pipeline.config import BASELINE_6_60, baseline_vp_6_60, eole_4_60
+from repro.pipeline.stats import SimStats, gmean, speedup
+
+
+class TestSimStats:
+    def test_ipc(self):
+        s = SimStats(cycles=100, insts=150, uops=200)
+        assert s.ipc == 1.5
+        assert s.uops_per_cycle == 2.0
+
+    def test_zero_cycles(self):
+        s = SimStats()
+        assert s.ipc == 0.0
+        assert s.vp_accuracy == 0.0
+        assert s.vp_coverage == 0.0
+        assert s.branch_mpki == 0.0
+
+    def test_vp_ratios(self):
+        s = SimStats(vp_eligible=100, vp_used=40, vp_used_correct=39)
+        assert s.vp_coverage == 0.4
+        assert s.vp_accuracy == 0.975
+
+    def test_mpki(self):
+        s = SimStats(insts=10_000, branch_mispredicts=25)
+        assert s.branch_mpki == 2.5
+
+    def test_summary_contains_key_fields(self):
+        s = SimStats(workload="swim", config="x", cycles=10, insts=20)
+        text = s.summary()
+        assert "swim" in text and "IPC" in text
+
+
+class TestSpeedupHelpers:
+    def test_speedup(self):
+        a = SimStats(workload="w", cycles=100, insts=200)
+        b = SimStats(workload="w", cycles=100, insts=100)
+        assert speedup(a, b) == 2.0
+
+    def test_speedup_workload_mismatch(self):
+        a = SimStats(workload="w1", cycles=1, insts=1)
+        b = SimStats(workload="w2", cycles=1, insts=1)
+        with pytest.raises(ValueError):
+            speedup(a, b)
+
+    def test_speedup_zero_ipc(self):
+        a = SimStats(workload="w", cycles=1, insts=0)
+        b = SimStats(workload="w", cycles=1, insts=1)
+        with pytest.raises(ValueError):
+            speedup(a, b)
+
+    def test_gmean(self):
+        assert abs(gmean([2.0, 8.0]) - 4.0) < 1e-12
+        assert gmean([1.0]) == 1.0
+
+    def test_gmean_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            gmean([])
+        with pytest.raises(ValueError):
+            gmean([1.0, 0.0])
+
+
+class TestCoreConfig:
+    def test_baseline_is_table1(self):
+        c = BASELINE_6_60
+        assert (c.rob_size, c.iq_size, c.lq_size, c.sq_size) == (192, 60, 72, 48)
+        assert c.issue_width == 6 and not c.vp_enabled
+
+    def test_vp_variant(self):
+        c = baseline_vp_6_60()
+        assert c.vp_enabled and not c.eole and c.issue_width == 6
+
+    def test_eole_variant(self):
+        c = eole_4_60()
+        assert c.vp_enabled and c.eole and c.issue_width == 4
+        # Late Execution adds a stage (§V-A).
+        assert c.back_end_depth == BASELINE_6_60.back_end_depth + 1
+
+    def test_with_returns_copy(self):
+        c = BASELINE_6_60.with_(issue_width=2)
+        assert c.issue_width == 2
+        assert BASELINE_6_60.issue_width == 6
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            BASELINE_6_60.issue_width = 1  # type: ignore[misc]

@@ -1,0 +1,60 @@
+"""Tests for the Table III storage accounting."""
+
+from repro.storage import (
+    LARGE,
+    MEDIUM,
+    SMALL_4P,
+    SMALL_6P,
+    TABLE_III,
+    TableIIIConfig,
+    breakdown,
+)
+
+
+class TestTableIII:
+    def test_medium_exact(self):
+        assert abs(breakdown(MEDIUM).total_kb - 32.76) < 0.005
+
+    def test_small_6p_exact(self):
+        assert abs(breakdown(SMALL_6P).total_kb - 17.18) < 0.005
+
+    def test_small_4p_close(self):
+        # The paper reports 17.26; our bit accounting gives 17.16 (see
+        # EXPERIMENTS.md for the delta discussion).
+        assert abs(breakdown(SMALL_4P).total_kb - SMALL_4P.paper_kb) < 0.11
+
+    def test_large_close(self):
+        assert abs(breakdown(LARGE).total_kb - LARGE.paper_kb) < 0.08
+
+    def test_all_rows_ordered_by_size(self):
+        sizes = [breakdown(c).total_kb for c in (SMALL_6P, MEDIUM, LARGE)]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_breakdown_sums(self):
+        b = breakdown(MEDIUM)
+        assert b.total_bits == b.lvt_bits + b.vt0_bits + b.tagged_bits + b.window_bits
+
+    def test_paper_sizes_recorded(self):
+        assert [c.paper_kb for c in TABLE_III] == [17.26, 17.18, 32.76, 61.65]
+
+
+class TestPartialStrideSizes:
+    """§VI-B(a): 290KB (64-bit) -> 203/160/138KB for 32/16/8-bit strides."""
+
+    def _config(self, bits):
+        return TableIIIConfig("x", 2048, 256, 6, 0, bits, 6, 0.0)
+
+    def test_stride_sweep_sizes(self):
+        expected = {64: 290, 32: 203, 16: 160, 8: 138}
+        for bits, paper_kb in expected.items():
+            computed = breakdown(self._config(bits)).total_kb
+            assert abs(computed - paper_kb) < 1.5, f"{bits}-bit strides"
+
+    def test_monotone_in_stride_bits(self):
+        sizes = [breakdown(self._config(b)).total_kb for b in (8, 16, 32, 64)]
+        assert sizes == sorted(sizes)
+
+    def test_lvt_dominates_at_narrow_strides(self):
+        b = breakdown(self._config(8))
+        assert b.lvt_bits > b.vt0_bits
+        assert b.lvt_bits > b.tagged_bits
