@@ -1,0 +1,45 @@
+"""Execution-layer macro-benchmark: cold sweep vs warm-cache re-run.
+
+Times a Fig 5a slice dispatched through :mod:`repro.exec` cold (every cell
+simulated, results stored) and then warm (every cell answered from the
+on-disk cache), and asserts the property the cache exists for: the warm
+pass recomputes nothing, returns identical results, and costs a small
+fraction of the cold pass.  Parallel wall-clock gains are machine-dependent
+(worker count vs cores), so they are reported by
+``examples/run_experiments.py --jobs N`` rather than asserted here.
+"""
+
+import repro.exec
+from conftest import run_once
+from repro.eval import experiments
+from repro.eval.runner import RunSpec
+
+EXEC_SPEC = RunSpec(uops=20_000, warmup=5_000,
+                    workloads=("swim", "bzip2", "gobmk"))
+
+
+def test_bench_exec_warm_cache(benchmark, tmp_path):
+    cache = repro.exec.ResultCache(root=tmp_path)
+    progress = repro.exec.ProgressMeter(enabled=False)
+    repro.exec.configure(jobs=1, cache=cache, progress=progress)
+    try:
+        cold = experiments.fig5a(EXEC_SPEC)
+        cells = cache.stores
+        cold_s = progress.elapsed
+        assert cells == len(EXEC_SPEC.names()) * (
+            1 + len(experiments.FIG5A_PREDICTORS)
+        )
+
+        warm = run_once(benchmark, experiments.fig5a, EXEC_SPEC)
+        warm_s = progress.elapsed - cold_s
+    finally:
+        repro.exec.reset()
+
+    print()
+    print(f"cold {cold_s:6.2f}s ({cells} cells simulated)")
+    print(f"warm {warm_s:6.2f}s ({cache.hits} cells from cache)")
+
+    assert warm == cold                  # byte-identical results
+    assert cache.hits == cells           # every cell served from disk
+    assert cache.stores == cells         # nothing recomputed on the warm pass
+    assert warm_s < cold_s / 5           # the speedup the cache is for

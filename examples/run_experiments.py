@@ -3,20 +3,27 @@
 
 Runs the complete 36-workload suite through every experiment of Section VI
 and writes a text report (the source of EXPERIMENTS.md's measured numbers).
-This is the long-running driver: expect tens of minutes at the default
-scale.  Use --quick for a reduced sanity run.
+Sweeps fan out over ``--jobs`` worker processes and finished cells are
+served from the on-disk result cache (``~/.cache/repro-bebop/`` or
+``$REPRO_BEBOP_CACHE``), so only the first cold run at a given scale is
+the long one — a warm re-run completes in seconds.  Use --quick for a
+reduced sanity run and --no-cache to force recomputation.
 
-Run:  python examples/run_experiments.py [--quick] [--out report.txt]
+Run:  python examples/run_experiments.py [--quick] [--jobs N] [--no-cache]
+                                         [--skip ID ...] [--out report.txt]
 """
 
 import argparse
 import sys
 import time
 
+import repro.exec
 from repro.eval import experiments, reporting
 from repro.eval.experiments import (
     FIG5A_PREDICTORS,
+    KNOWN_EXPERIMENTS,
     aggregate,
+    validate_experiment_ids,
 )
 from repro.eval.runner import RunSpec
 
@@ -26,9 +33,36 @@ def main() -> int:
     parser.add_argument("--quick", action="store_true",
                         help="reduced scale: 8 workloads, shorter traces")
     parser.add_argument("--out", default=None, help="also write report here")
-    parser.add_argument("--skip", nargs="*", default=[],
-                        help="experiment ids to skip (e.g. fig6a fig6b)")
+    parser.add_argument("--skip", nargs="*", default=[], metavar="ID",
+                        help=f"experiment ids to skip; known: "
+                             f"{', '.join(KNOWN_EXPERIMENTS)}")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes per sweep (default 1 = serial; "
+                             "try your core count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not consult or populate the on-disk result "
+                             "cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result cache root (default ~/.cache/repro-bebop "
+                             "or $REPRO_BEBOP_CACHE)")
+    parser.add_argument("--job-timeout", type=float, default=None, metavar="S",
+                        help="seconds to wait per parallel job before "
+                             "retrying it (default: no timeout)")
     args = parser.parse_args()
+
+    try:
+        validate_experiment_ids(args.skip)
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+
+    cache = None
+    if not args.no_cache:
+        cache = repro.exec.ResultCache(root=args.cache_dir)
+    progress = repro.exec.ProgressMeter()
+    repro.exec.configure(jobs=args.jobs, cache=cache,
+                         timeout=args.job_timeout, progress=progress)
 
     if args.quick:
         spec = RunSpec(
@@ -104,6 +138,10 @@ def main() -> int:
         with open(args.out, "w") as f:
             f.write(report + "\n")
         print(f"\nreport written to {args.out}")
+
+    print(f"\n[exec] {args.jobs} worker(s): {progress.summary()}")
+    if cache is not None:
+        print(f"[exec] {cache.summary()}")
     return 0
 
 

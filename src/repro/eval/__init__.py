@@ -1,13 +1,18 @@
 """Experiment harness: regenerate every table and figure of Section VI.
 
 * :mod:`repro.eval.runner` — builders for traces, predictors and pipeline
-  configurations, with per-process trace caching;
+  configurations, with a bounded (LRU) per-process trace cache;
 * :mod:`repro.eval.experiments` — one entry point per paper artefact
   (``fig5a`` ... ``fig8``, ``table2_ipc``, ``table3_storage``,
   ``partial_strides``);
 * :mod:`repro.eval.reporting` — text rendering of the result structures
   (per-benchmark rows, gmean / min / max aggregates like the paper's box
   plots).
+
+Execution itself — process fan-out, per-job timeout/retry and the on-disk
+result cache — lives in :mod:`repro.exec`; ``repro.exec.configure(...)``
+switches every sweep in :mod:`repro.eval.experiments` between serial,
+parallel and cached execution.
 """
 
 from repro.eval.runner import (
@@ -21,6 +26,7 @@ from repro.eval.runner import (
     run_bebop_eole,
     run_eole_instr_vp,
     run_instr_vp,
+    set_trace_cache_limit,
 )
 from repro.eval import experiments, reporting
 
@@ -35,6 +41,7 @@ __all__ = [
     "run_instr_vp",
     "run_eole_instr_vp",
     "run_bebop_eole",
+    "set_trace_cache_limit",
     "experiments",
     "reporting",
 ]

@@ -4,6 +4,13 @@ Every function returns plain data structures (dicts keyed by workload /
 configuration) so tests can assert on shapes and the reporting module can
 render them.  Speedups are IPC ratios on identical traces; aggregates use
 the geometric mean like the paper.
+
+Execution is delegated to :mod:`repro.exec`: each sweep is decomposed into
+a flat list of :class:`~repro.exec.JobSpec` cells and fanned out through
+:func:`repro.exec.run_specs`, so one ``repro.exec.configure(...)`` call
+switches the whole module between serial, parallel and cached execution
+without changing any result (results are collected in spec order and each
+cell is a pure function of its spec).
 """
 
 from __future__ import annotations
@@ -11,15 +18,32 @@ from __future__ import annotations
 from repro.bebop import BlockDVTAGEConfig, RecoveryPolicy
 from repro.pipeline.stats import gmean
 from repro.storage import TABLE_III, TableIIIConfig, breakdown
-from repro.eval.runner import (
-    RunSpec,
-    get_trace,
-    make_bebop_engine,
-    make_instr_predictor,
-    run_baseline,
-    run_bebop_eole,
-    run_eole_instr_vp,
-    run_instr_vp,
+from repro.eval.runner import RunSpec
+
+
+def _exec():
+    """The :mod:`repro.exec` API, imported lazily.
+
+    ``repro.exec.jobs`` imports :mod:`repro.eval.runner`; importing
+    ``repro.exec`` at this module's load time would therefore cycle
+    through ``repro.eval.__init__`` when ``repro.exec`` is imported
+    first.  Deferring to call time breaks the cycle in both directions.
+    """
+    import repro.exec as exec_api
+    return exec_api
+
+#: Experiment ids the driver can run/skip, in report order.
+KNOWN_EXPERIMENTS = (
+    "table2",
+    "table3",
+    "fig5a",
+    "fig5b",
+    "fig6a",
+    "fig6b",
+    "partial_strides",
+    "fig7a",
+    "fig7b",
+    "fig8",
 )
 
 #: Fig 5a predictor line-up, in the paper's legend order.
@@ -64,12 +88,26 @@ FIG8_CONFIGS = {
 }
 
 
+def validate_experiment_ids(ids) -> None:
+    """Reject unknown experiment ids (typos would silently run everything)."""
+    unknown = sorted(set(ids) - set(KNOWN_EXPERIMENTS))
+    if unknown:
+        raise ValueError(
+            f"unknown experiment id(s): {', '.join(unknown)}; "
+            f"known: {', '.join(KNOWN_EXPERIMENTS)}"
+        )
+
+
+def _ipcs(jobs, label: str = "") -> list[float]:
+    """Fan a flat job list out through the scheduler; IPCs in job order."""
+    return [stats.ipc for stats in _exec().run_specs(jobs, label=label)]
+
+
 def _baselines(spec: RunSpec) -> dict[str, float]:
     """Baseline_6_60 IPC per workload."""
-    out = {}
-    for name in spec.names():
-        out[name] = run_baseline(get_trace(name, spec.uops), spec.warmup).ipc
-    return out
+    names = spec.names()
+    jobs = [_exec().baseline_job(n, spec.uops, spec.warmup) for n in names]
+    return dict(zip(names, _ipcs(jobs, "baselines")))
 
 
 def aggregate(speedups: dict[str, float]) -> dict[str, float]:
@@ -86,11 +124,12 @@ def table2_ipc(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
     """Per-workload baseline IPC next to the paper's Table II IPC."""
     from repro.workloads.suite import get_spec
 
-    out: dict[str, dict[str, float]] = {}
-    for name in spec.names():
-        stats = run_baseline(get_trace(name, spec.uops), spec.warmup)
-        out[name] = {"ipc": stats.ipc, "paper_ipc": get_spec(name).paper_ipc}
-    return out
+    names = spec.names()
+    ipcs = _baselines(spec)
+    return {
+        name: {"ipc": ipcs[name], "paper_ipc": get_spec(name).paper_ipc}
+        for name in names
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -99,14 +138,18 @@ def table2_ipc(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
 
 def fig5a(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
     """Speedup of each predictor over Baseline_6_60, per workload."""
+    names = spec.names()
     base = _baselines(spec)
-    out: dict[str, dict[str, float]] = {name: {} for name in spec.names()}
+    jobs = [
+        _exec().instr_vp_job(name, kind, spec.uops, spec.warmup)
+        for kind in FIG5A_PREDICTORS
+        for name in names
+    ]
+    ipcs = iter(_ipcs(jobs, "fig5a"))
+    out: dict[str, dict[str, float]] = {name: {} for name in names}
     for kind in FIG5A_PREDICTORS:
-        for name in spec.names():
-            stats = run_instr_vp(
-                get_trace(name, spec.uops), make_instr_predictor(kind), spec.warmup
-            )
-            out[name][kind] = stats.ipc / base[name]
+        for name in names:
+            out[name][kind] = next(ipcs) / base[name]
     return out
 
 
@@ -116,13 +159,14 @@ def fig5a(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
 
 def fig5b(spec: RunSpec = RunSpec()) -> dict[str, float]:
     """EOLE at issue-4 should preserve Baseline_VP_6_60 performance."""
-    out: dict[str, float] = {}
-    for name in spec.names():
-        trace = get_trace(name, spec.uops)
-        vp6 = run_instr_vp(trace, make_instr_predictor("d-vtage"), spec.warmup)
-        eole4 = run_eole_instr_vp(trace, make_instr_predictor("d-vtage"), spec.warmup)
-        out[name] = eole4.ipc / vp6.ipc
-    return out
+    names = spec.names()
+    jobs = [_exec().instr_vp_job(n, "d-vtage", spec.uops, spec.warmup)
+            for n in names]
+    jobs += [_exec().instr_vp_job(n, "d-vtage", spec.uops, spec.warmup, eole=True)
+             for n in names]
+    ipcs = _ipcs(jobs, "fig5b")
+    vp6, eole4 = ipcs[: len(names)], ipcs[len(names):]
+    return {name: eole4[i] / vp6[i] for i, name in enumerate(names)}
 
 
 # ---------------------------------------------------------------------------
@@ -133,49 +177,59 @@ def fig5b(spec: RunSpec = RunSpec()) -> dict[str, float]:
 def _eole_reference(spec: RunSpec) -> dict[str, float]:
     """EOLE_4_60 with idealistic instruction-based D-VTAGE (the Fig 6/7
     normalisation baseline)."""
-    out = {}
-    for name in spec.names():
-        out[name] = run_eole_instr_vp(
-            get_trace(name, spec.uops), make_instr_predictor("d-vtage"), spec.warmup
-        ).ipc
+    names = spec.names()
+    jobs = [_exec().instr_vp_job(n, "d-vtage", spec.uops, spec.warmup, eole=True)
+            for n in names]
+    return dict(zip(names, _ipcs(jobs, "eole-reference")))
+
+
+def _bebop_sweep(
+    spec: RunSpec,
+    cells: list[tuple[str, BlockDVTAGEConfig, int | None, RecoveryPolicy]],
+    label: str,
+) -> dict[str, dict[str, float]]:
+    """Shared Fig 6/7 shape: {config label: {workload: speedup over EOLE}}.
+
+    ``cells`` is one (label, config, window, policy) per swept configuration;
+    the whole (configuration × workload) grid goes out as a single batch.
+    """
+    names = spec.names()
+    reference = _eole_reference(spec)
+    jobs = [
+        _exec().bebop_job(name, config, window, policy, spec.uops, spec.warmup)
+        for _, config, window, policy in cells
+        for name in names
+    ]
+    ipcs = iter(_ipcs(jobs, label))
+    out: dict[str, dict[str, float]] = {}
+    for row_label, *_ in cells:
+        out[row_label] = {name: next(ipcs) / reference[name] for name in names}
     return out
 
 
 def fig6a(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
     """Npred / table-size sweep: {config label: {workload: speedup}}."""
-    reference = _eole_reference(spec)
-    out: dict[str, dict[str, float]] = {}
+    cells = []
     for npred, base_entries, tagged_entries in FIG6A_GEOMETRIES:
         label = f"{npred}p {base_entries // 1024}K+6x{tagged_entries}"
         config = BlockDVTAGEConfig(
             npred=npred, base_entries=base_entries, tagged_entries=tagged_entries
         )
-        row = {}
-        for name in spec.names():
-            engine = make_bebop_engine(config, window=None)
-            stats = run_bebop_eole(get_trace(name, spec.uops), engine, spec.warmup)
-            row[name] = stats.ipc / reference[name]
-        out[label] = row
-    return out
+        cells.append((label, config, None, RecoveryPolicy.DNRDNR))
+    return _bebop_sweep(spec, cells, "fig6a")
 
 
 def fig6b(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
     """Base-size vs tagged-size sweep at 6 predictions per entry."""
-    reference = _eole_reference(spec)
-    out: dict[str, dict[str, float]] = {}
+    cells = []
     for base_entries, tagged_entries in FIG6B_GEOMETRIES:
         base_label = f"{base_entries // 1024}K" if base_entries >= 1024 else str(base_entries)
         label = f"{base_label}+6x{tagged_entries}"
         config = BlockDVTAGEConfig(
             npred=6, base_entries=base_entries, tagged_entries=tagged_entries
         )
-        row = {}
-        for name in spec.names():
-            engine = make_bebop_engine(config, window=None)
-            stats = run_bebop_eole(get_trace(name, spec.uops), engine, spec.warmup)
-            row[name] = stats.ipc / reference[name]
-        out[label] = row
-    return out
+        cells.append((label, config, None, RecoveryPolicy.DNRDNR))
+    return _bebop_sweep(spec, cells, "fig6b")
 
 
 # ---------------------------------------------------------------------------
@@ -184,15 +238,15 @@ def fig6b(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
 
 def partial_strides(spec: RunSpec = RunSpec()) -> dict[int, dict[str, object]]:
     """Stride width sweep: speedup over the EOLE reference + storage."""
-    reference = _eole_reference(spec)
+    cells = [
+        (str(bits), BlockDVTAGEConfig(stride_bits=bits), None,
+         RecoveryPolicy.DNRDNR)
+        for bits in PARTIAL_STRIDE_BITS
+    ]
+    sweeps = _bebop_sweep(spec, cells, "partial-strides")
     out: dict[int, dict[str, object]] = {}
     for bits in PARTIAL_STRIDE_BITS:
-        config = BlockDVTAGEConfig(stride_bits=bits)
-        speedups = {}
-        for name in spec.names():
-            engine = make_bebop_engine(config, window=None)
-            stats = run_bebop_eole(get_trace(name, spec.uops), engine, spec.warmup)
-            speedups[name] = stats.ipc / reference[name]
+        speedups = sweeps[str(bits)]
         storage = breakdown(
             TableIIIConfig(
                 name=f"stride{bits}",
@@ -219,32 +273,21 @@ def partial_strides(spec: RunSpec = RunSpec()) -> dict[int, dict[str, object]]:
 
 def fig7a(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
     """Recovery-policy sweep with an infinite speculative window."""
-    reference = _eole_reference(spec)
-    out: dict[str, dict[str, float]] = {}
-    for policy in (RecoveryPolicy.IDEAL, RecoveryPolicy.REPRED,
-                   RecoveryPolicy.DNRDNR, RecoveryPolicy.DNRR):
-        row = {}
-        for name in spec.names():
-            engine = make_bebop_engine(window=None, policy=policy)
-            stats = run_bebop_eole(get_trace(name, spec.uops), engine, spec.warmup)
-            row[name] = stats.ipc / reference[name]
-        out[policy.value] = row
-    return out
+    cells = [
+        (policy.value, BlockDVTAGEConfig(), None, policy)
+        for policy in (RecoveryPolicy.IDEAL, RecoveryPolicy.REPRED,
+                       RecoveryPolicy.DNRDNR, RecoveryPolicy.DNRR)
+    ]
+    return _bebop_sweep(spec, cells, "fig7a")
 
 
 def fig7b(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
     """Speculative-window size sweep under the DnRDnR policy."""
-    reference = _eole_reference(spec)
-    out: dict[str, dict[str, float]] = {}
+    cells = []
     for size in FIG7B_WINDOW_SIZES:
         label = "inf" if size is None else ("none" if size == 0 else str(size))
-        row = {}
-        for name in spec.names():
-            engine = make_bebop_engine(window=size, policy=RecoveryPolicy.DNRDNR)
-            stats = run_bebop_eole(get_trace(name, spec.uops), engine, spec.warmup)
-            row[name] = stats.ipc / reference[name]
-        out[label] = row
-    return out
+        cells.append((label, BlockDVTAGEConfig(), size, RecoveryPolicy.DNRDNR))
+    return _bebop_sweep(spec, cells, "fig7b")
 
 
 # ---------------------------------------------------------------------------
@@ -274,31 +317,22 @@ def fig8(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
     Baseline_VP_6_60, EOLE_4_60 (both idealistic instruction-based D-VTAGE)
     and the four Table III block-based configurations.
     """
+    names = spec.names()
     base = _baselines(spec)
+
+    jobs = [_exec().instr_vp_job(n, "d-vtage", spec.uops, spec.warmup)
+            for n in names]
+    jobs += [_exec().instr_vp_job(n, "d-vtage", spec.uops, spec.warmup, eole=True)
+             for n in names]
+    for config, window in FIG8_CONFIGS.values():
+        jobs += [
+            _exec().bebop_job(n, config, window, RecoveryPolicy.DNRDNR,
+                              spec.uops, spec.warmup)
+            for n in names
+        ]
+    ipcs = iter(_ipcs(jobs, "fig8"))
+
     out: dict[str, dict[str, float]] = {}
-
-    row = {}
-    for name in spec.names():
-        stats = run_instr_vp(
-            get_trace(name, spec.uops), make_instr_predictor("d-vtage"), spec.warmup
-        )
-        row[name] = stats.ipc / base[name]
-    out["Baseline_VP_6_60"] = row
-
-    row = {}
-    for name in spec.names():
-        stats = run_eole_instr_vp(
-            get_trace(name, spec.uops), make_instr_predictor("d-vtage"), spec.warmup
-        )
-        row[name] = stats.ipc / base[name]
-    out["EOLE_4_60"] = row
-
-    for label, (config, window) in FIG8_CONFIGS.items():
-        row = {}
-        for name in spec.names():
-            engine = make_bebop_engine(config, window=window,
-                                       policy=RecoveryPolicy.DNRDNR)
-            stats = run_bebop_eole(get_trace(name, spec.uops), engine, spec.warmup)
-            row[name] = stats.ipc / base[name]
-        out[label] = row
+    for label in ("Baseline_VP_6_60", "EOLE_4_60", *FIG8_CONFIGS):
+        out[label] = {name: next(ipcs) / base[name] for name in names}
     return out

@@ -10,6 +10,7 @@ smaller and EXPERIMENTS.md runs larger.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.bebop import (
@@ -41,8 +42,12 @@ from repro.workloads.suite import all_workload_names
 DEFAULT_TRACE_UOPS = 120_000
 DEFAULT_WARMUP_UOPS = 40_000
 
-#: Trace cache keyed by (workload, uop count) — traces are deterministic.
-_TRACE_CACHE: dict[tuple[str, int], Trace] = {}
+#: Trace cache keyed by (workload, uop count) — traces are deterministic, so
+#: recomputing an evicted one is pure wall-clock, never a correctness issue.
+#: LRU-bounded: one full-suite pass at a single scale fits, but a multi-scale
+#: run (36 workloads × several uop counts) no longer grows without limit.
+_TRACE_CACHE: OrderedDict[tuple[str, int], Trace] = OrderedDict()
+_TRACE_CACHE_LIMIT = 48
 
 
 @dataclass(frozen=True)
@@ -58,18 +63,31 @@ class RunSpec:
 
 
 def get_trace(name: str, uops: int = DEFAULT_TRACE_UOPS) -> Trace:
-    """Build (or fetch from cache) the dynamic trace of a workload."""
+    """Build (or fetch from the LRU cache) the dynamic trace of a workload."""
     key = (name, uops)
-    if key not in _TRACE_CACHE:
-        kernel = build_workload(name)
-        _TRACE_CACHE[key] = generate_trace(
-            kernel.program, uops, name=name, init_mem=kernel.init_mem
-        )
-    return _TRACE_CACHE[key]
+    if key in _TRACE_CACHE:
+        _TRACE_CACHE.move_to_end(key)
+        return _TRACE_CACHE[key]
+    kernel = build_workload(name)
+    trace = generate_trace(kernel.program, uops, name=name, init_mem=kernel.init_mem)
+    _TRACE_CACHE[key] = trace
+    while len(_TRACE_CACHE) > _TRACE_CACHE_LIMIT:
+        _TRACE_CACHE.popitem(last=False)
+    return trace
 
 
 def clear_trace_cache() -> None:
     _TRACE_CACHE.clear()
+
+
+def set_trace_cache_limit(limit: int) -> None:
+    """Change the LRU bound (evicting immediately if now over it)."""
+    global _TRACE_CACHE_LIMIT
+    if limit < 1:
+        raise ValueError(f"trace cache limit must be >= 1, got {limit}")
+    _TRACE_CACHE_LIMIT = limit
+    while len(_TRACE_CACHE) > _TRACE_CACHE_LIMIT:
+        _TRACE_CACHE.popitem(last=False)
 
 
 def make_instr_predictor(kind: str, **overrides: object) -> ValuePredictor:

@@ -1,0 +1,129 @@
+"""Content-addressed on-disk result store.
+
+Finished cells never recompute: results are JSON blobs keyed by the
+:meth:`JobSpec.digest` under a per-code-version directory, so
+
+* a warm re-run of ``examples/run_experiments.py`` costs file reads only;
+* bumping :data:`CODE_VERSION` (whenever simulator semantics change in a
+  way that alters results) orphans every old blob instead of serving
+  stale numbers — old version directories can simply be deleted;
+* ``rm -rf ~/.cache/repro-bebop`` (or the directory named by
+  ``$REPRO_BEBOP_CACHE``) is always a safe full invalidation.
+
+Writes are atomic (temp file + rename) so a crashed or parallel writer
+can never leave a half-written blob that a later reader trusts; corrupt
+blobs are treated as misses and deleted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.pipeline import SimStats
+from repro.exec.jobs import JobSpec, stats_from_dict, stats_to_dict
+
+#: Salt mixed into every cache path.  Bump on any change to the simulator
+#: that alters results for an unchanged JobSpec.
+CODE_VERSION = "1"
+
+#: Environment variable overriding the default cache root.
+CACHE_ENV = "REPRO_BEBOP_CACHE"
+
+
+def default_cache_root() -> Path:
+    env = os.environ.get(CACHE_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-bebop"
+
+
+class ResultCache:
+    """JSON-blob store consulted before dispatch, written after completion.
+
+    Counters (``hits`` / ``misses`` / ``stores`` / ``evictions``) cover the
+    lifetime of this instance; :meth:`summary` renders them for reports.
+    ``max_entries`` bounds the version directory — oldest blobs (by mtime)
+    are evicted once the bound is exceeded.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike | None = None,
+        version: str = CODE_VERSION,
+        max_entries: int | None = None,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.version = version
+        self.dir = self.root / f"v{version}"
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    def _path(self, spec: JobSpec) -> Path:
+        return self.dir / f"{spec.digest()}.json"
+
+    def get(self, spec: JobSpec) -> SimStats | None:
+        """The cached result of ``spec``, or ``None`` on a miss."""
+        path = self._path(spec)
+        try:
+            with open(path) as f:
+                blob = json.load(f)
+            stats = stats_from_dict(blob["stats"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, OSError):
+            # Corrupt or foreign blob: drop it and recompute.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def put(self, spec: JobSpec, stats: SimStats) -> None:
+        """Store a finished result (atomic: temp file + rename)."""
+        self.dir.mkdir(parents=True, exist_ok=True)
+        path = self._path(spec)
+        blob = {"spec": spec.as_dict(), "stats": stats_to_dict(stats)}
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        with open(tmp, "w") as f:
+            json.dump(blob, f)
+        os.replace(tmp, path)
+        self.stores += 1
+        if self.max_entries is not None:
+            self.prune(self.max_entries)
+
+    def prune(self, max_entries: int) -> int:
+        """Evict oldest blobs until at most ``max_entries`` remain."""
+        blobs = sorted(self.dir.glob("*.json"),
+                       key=lambda p: (p.stat().st_mtime, p.name))
+        evicted = 0
+        for path in blobs[: max(0, len(blobs) - max_entries)]:
+            path.unlink(missing_ok=True)
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    def clear(self) -> int:
+        """Remove every blob of this cache's version; returns the count."""
+        removed = 0
+        if self.dir.is_dir():
+            for path in self.dir.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.dir.is_dir():
+            return 0
+        return sum(1 for _ in self.dir.glob("*.json"))
+
+    def summary(self) -> str:
+        return (
+            f"cache {self.dir}: {self.hits} hits, {self.misses} misses, "
+            f"{self.stores} stored, {self.evictions} evicted"
+        )

@@ -1,0 +1,96 @@
+"""Wall-clock and throughput accounting for sweep execution.
+
+One :class:`ProgressMeter` spans a whole driver run; each scheduler batch
+(one sweep's fan-out) opens with :meth:`start` and closes with
+:meth:`finish`.  While a batch is live the meter maintains a single
+``[done/total]`` line with throughput and the cache-hit count, rewritten
+in place on a TTY and emitted sparsely otherwise so logs stay readable.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import TextIO
+
+
+class ProgressMeter:
+    """Live ``[done/total]`` line plus cumulative wall-clock counters."""
+
+    def __init__(self, stream: TextIO | None = None, enabled: bool = True) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        self._isatty = bool(getattr(self.stream, "isatty", lambda: False)())
+        # Batch state.
+        self.total = 0
+        self.done = 0
+        self.cached = 0
+        self.label = ""
+        self._t0 = 0.0
+        self._last_len = 0
+        # Cumulative (across batches).
+        self.jobs_done = 0
+        self.jobs_cached = 0
+        self.elapsed = 0.0
+
+    def start(self, total: int, label: str = "") -> None:
+        """Open a batch of ``total`` jobs."""
+        self.total = total
+        self.done = 0
+        self.cached = 0
+        self.label = label
+        self._t0 = time.monotonic()
+        self._render()
+
+    def tick(self, cached: bool = False) -> None:
+        """One job finished (``cached`` = served from the result store)."""
+        self.done += 1
+        self.jobs_done += 1
+        if cached:
+            self.cached += 1
+            self.jobs_cached += 1
+        self._render()
+
+    def finish(self) -> float:
+        """Close the batch; returns its wall-clock seconds."""
+        dt = time.monotonic() - self._t0
+        self.elapsed += dt
+        self._render(final=True)
+        return dt
+
+    @property
+    def throughput(self) -> float:
+        """Jobs per second over the current batch."""
+        dt = time.monotonic() - self._t0
+        return self.done / dt if dt > 0 else 0.0
+
+    def _line(self) -> str:
+        line = f"[{self.done}/{self.total}]"
+        if self.label:
+            line += f" {self.label}"
+        line += f" {self.throughput:.1f} jobs/s"
+        if self.cached:
+            line += f" ({self.cached} cached)"
+        return line
+
+    def _render(self, final: bool = False) -> None:
+        if not self.enabled:
+            return
+        line = self._line()
+        if self._isatty:
+            pad = " " * max(0, self._last_len - len(line))
+            end = "\n" if final else ""
+            self.stream.write(f"\r{line}{pad}{end}")
+            self._last_len = 0 if final else len(line)
+        elif final or self.done == 0:
+            # Non-TTY: only batch boundaries, so logs don't drown.
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+    def summary(self) -> str:
+        """Cumulative one-liner for the end of a driver run."""
+        rate = self.jobs_done / self.elapsed if self.elapsed > 0 else 0.0
+        return (
+            f"{self.jobs_done} jobs in {self.elapsed:.1f}s "
+            f"({rate:.1f} jobs/s, {self.jobs_cached} from cache)"
+        )

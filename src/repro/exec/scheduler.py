@@ -1,0 +1,261 @@
+"""Fan-out of experiment cells over worker processes.
+
+The scheduler turns a list of :class:`JobSpec` into a list of
+:class:`SimStats` with three guarantees:
+
+* **Determinism** — results are collected *by submission index*, never by
+  completion order, and every cell is a pure function of its spec; the
+  output of ``jobs=N`` is bit-identical to ``jobs=1``.  Submission order
+  itself is fixed by :func:`shard` (round-robin over workers), so a given
+  (specs, jobs) pair always dispatches identically.
+* **Bounded failure** — each job gets a wait timeout and a bounded number
+  of retries; a hung worker is killed and its pool rebuilt rather than
+  wedging the sweep.  A pool that keeps dying degrades gracefully to the
+  in-process serial path.
+* **Zero recompute** — when a :class:`ResultCache` is attached, cached
+  cells are answered before any worker is spawned and fresh results are
+  stored as they complete.
+
+The serial path (``jobs=1``) runs in-process with no pickling and is the
+reference semantics; the parallel path exists purely to buy wall-clock.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from typing import Callable, Sequence
+
+from repro.pipeline import SimStats
+from repro.exec.cache import ResultCache
+from repro.exec.jobs import JobSpec, run_job
+from repro.exec.progress import ProgressMeter
+
+#: Consecutive pool deaths tolerated before falling back to serial.
+MAX_POOL_FAILURES = 2
+
+
+class JobError(RuntimeError):
+    """A job exhausted its retry budget raising exceptions."""
+
+    def __init__(self, spec: JobSpec, message: str) -> None:
+        super().__init__(f"{spec.label()}: {message}")
+        self.spec = spec
+
+
+class JobTimeoutError(JobError):
+    """A job exhausted its retry budget timing out."""
+
+    def __init__(self, spec: JobSpec, timeout: float) -> None:
+        super().__init__(spec, f"timed out after {timeout}s (retries exhausted)")
+
+
+def shard(items: Sequence, nshards: int) -> list[list]:
+    """Deterministic round-robin split of ``items`` into ``nshards`` lists.
+
+    ``shard(range(5), 2) == [[0, 2, 4], [1, 3]]``.  Empty shards are kept
+    so the shape depends only on ``(len(items), nshards)``.
+    """
+    if nshards <= 0:
+        raise ValueError(f"nshards must be positive, got {nshards}")
+    shards: list[list] = [[] for _ in range(nshards)]
+    for i, item in enumerate(items):
+        shards[i % nshards].append(item)
+    return shards
+
+
+def _interleave(indices: Sequence[int], nshards: int) -> list[int]:
+    """Submission order: shard round-robin, then concatenate the shards."""
+    return [i for s in shard(indices, nshards) for i in s]
+
+
+class Scheduler:
+    """Runs batches of cells serially or over a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` (the default) = in-process serial.
+    cache:
+        Optional :class:`ResultCache` consulted before dispatch.
+    timeout:
+        Seconds to wait on each job's result (parallel path only — the
+        serial path cannot preempt a running simulation).  ``None`` waits
+        forever.
+    retries:
+        Extra attempts after the first for a job that times out or raises.
+    progress:
+        Optional :class:`ProgressMeter`; one batch per :meth:`run` call.
+    job_fn:
+        The cell executor, ``JobSpec -> SimStats``.  Must be a picklable
+        top-level callable for the parallel path; tests substitute
+        counting/hanging functions here.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        timeout: float | None = None,
+        retries: int = 1,
+        progress: ProgressMeter | None = None,
+        job_fn: Callable[[JobSpec], SimStats] = run_job,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.jobs = jobs
+        self.cache = cache
+        self.timeout = timeout
+        self.retries = retries
+        self.progress = progress
+        self.job_fn = job_fn
+
+    # -- public API -------------------------------------------------------
+
+    def run(self, specs: Sequence[JobSpec], label: str = "") -> list[SimStats]:
+        """Execute every spec; results are in spec order."""
+        specs = list(specs)
+        if self.progress:
+            self.progress.start(len(specs), label)
+        results: list[SimStats | None] = [None] * len(specs)
+
+        pending: list[int] = []
+        for i, spec in enumerate(specs):
+            # `is not None`: an empty ResultCache is falsy (it has __len__).
+            hit = self.cache.get(spec) if self.cache is not None else None
+            if hit is not None:
+                results[i] = hit
+                self._tick(cached=True)
+            else:
+                pending.append(i)
+
+        if pending:
+            if self.jobs <= 1 or (len(pending) == 1 and self.timeout is None):
+                self._run_serial(specs, pending, results)
+            else:
+                self._run_parallel(specs, pending, results)
+            if self.cache is not None:
+                for i in pending:
+                    self.cache.put(specs[i], results[i])
+
+        if self.progress:
+            self.progress.finish()
+        return results  # type: ignore[return-value]
+
+    # -- serial path ------------------------------------------------------
+
+    def _run_serial(self, specs, pending, results) -> None:
+        for i in pending:
+            last: Exception | None = None
+            for _ in range(1 + self.retries):
+                try:
+                    results[i] = self.job_fn(specs[i])
+                    last = None
+                    break
+                except Exception as exc:
+                    last = exc
+            if last is not None:
+                raise JobError(specs[i], f"failed after retries: {last!r}") from last
+            self._tick()
+
+    # -- parallel path ----------------------------------------------------
+
+    def _run_parallel(self, specs, pending, results) -> None:
+        attempts = dict.fromkeys(pending, 0)
+        queue = list(pending)
+        pool_failures = 0
+        while queue:
+            if pool_failures >= MAX_POOL_FAILURES:
+                # The pool keeps dying (OOM-killed workers, broken fork
+                # environment, ...): finish deterministically in-process.
+                self._run_serial(specs, queue, results)
+                return
+            queue, pool_broke = self._one_pass(specs, queue, attempts, results)
+            pool_failures = pool_failures + 1 if pool_broke else 0
+
+    def _one_pass(self, specs, queue, attempts, results) -> tuple[list[int], bool]:
+        """One pool lifetime; returns (still-unfinished indices, pool died).
+
+        A timed-out or crashed job poisons the whole pool: waiting is
+        abandoned, already-finished survivors are harvested, the workers
+        are killed, and the caller re-queues the remainder against a fresh
+        pool.  A job that merely *raises* leaves the pool healthy and is
+        simply retried on the next pass.
+        """
+        order = _interleave(queue, self.jobs)
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(order)))
+        futures: dict[int, Future] = {}
+        done: set[int] = set()
+        poisoned = False
+        pool_broke = False
+        try:
+            for i in order:
+                futures[i] = pool.submit(self.job_fn, specs[i])
+            for i in order:
+                try:
+                    results[i] = futures[i].result(timeout=self.timeout)
+                    done.add(i)
+                    self._tick()
+                except TimeoutError:
+                    # A hung worker: charge the attempt and stop waiting —
+                    # the pool is killed below and survivors harvested.
+                    attempts[i] += 1
+                    poisoned = True
+                    if attempts[i] > self.retries:
+                        raise JobTimeoutError(specs[i], self.timeout or 0.0)
+                    break
+                except BrokenExecutor:
+                    poisoned = True
+                    pool_broke = True
+                    break
+                except Exception as exc:
+                    attempts[i] += 1
+                    if attempts[i] > self.retries:
+                        raise JobError(
+                            specs[i], f"failed after retries: {exc!r}"
+                        ) from exc
+        except BrokenExecutor:
+            # submit() itself failed: the pool died before dispatch.
+            poisoned = True
+            pool_broke = True
+        finally:
+            # Salvage anything that finished before we stopped waiting.
+            for i in order:
+                if i in done:
+                    continue
+                fut = futures.get(i)
+                if fut is not None and fut.done() and not fut.cancelled():
+                    try:
+                        if fut.exception() is None:
+                            results[i] = fut.result()
+                            done.add(i)
+                            self._tick()
+                    except Exception:
+                        pass
+            if poisoned:
+                _kill_pool(pool)
+            else:
+                pool.shutdown(wait=True, cancel_futures=True)
+        return [i for i in order if i not in done], pool_broke
+
+    def _tick(self, cached: bool = False) -> None:
+        if self.progress:
+            self.progress.tick(cached=cached)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Terminate a pool whose workers may be hung or dead.
+
+    ``shutdown(wait=True)`` would block forever on a hung worker, so the
+    worker processes are terminated first; the subsequent shutdown then
+    only reaps corpses.  Uses the executor's private process table — there
+    is no public kill switch — guarded so a stdlib change degrades to a
+    plain non-waiting shutdown.
+    """
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)

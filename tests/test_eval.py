@@ -9,6 +9,7 @@ from repro.eval.runner import (
     get_trace,
     make_bebop_engine,
     make_instr_predictor,
+    set_trace_cache_limit,
 )
 
 TINY = RunSpec(uops=8_000, warmup=2_000, workloads=("swim", "gobmk"))
@@ -22,6 +23,26 @@ class TestRunner:
         assert t1 is t2
         t3 = get_trace("swim", 6000)
         assert t3 is not t1
+
+    def test_trace_cache_lru_bound(self):
+        clear_trace_cache()
+        set_trace_cache_limit(2)
+        try:
+            t1 = get_trace("swim", 5000)
+            get_trace("swim", 6000)
+            get_trace("swim", 5000)      # refresh t1: now most recent
+            get_trace("swim", 7000)      # evicts the 6000-µop trace
+            assert get_trace("swim", 5000) is t1
+            from repro.eval.runner import _TRACE_CACHE
+            assert len(_TRACE_CACHE) == 2
+            assert ("swim", 6000) not in _TRACE_CACHE
+        finally:
+            set_trace_cache_limit(48)
+            clear_trace_cache()
+
+    def test_trace_cache_limit_validation(self):
+        with pytest.raises(ValueError):
+            set_trace_cache_limit(0)
 
     def test_make_instr_predictor_kinds(self):
         for kind in ("lvp", "2d-stride", "vtage", "vtage-2d-stride", "d-vtage"):
@@ -69,6 +90,12 @@ class TestExperiments:
         one = RunSpec(uops=6_000, warmup=1_000, workloads=("swim",))
         r = experiments.fig7b(one)
         assert set(r) == {"inf", "64", "56", "48", "32", "16", "none"}
+
+    def test_validate_experiment_ids(self):
+        experiments.validate_experiment_ids([])
+        experiments.validate_experiment_ids(["fig6a", "table2"])
+        with pytest.raises(ValueError, match="fig6x"):
+            experiments.validate_experiment_ids(["fig6x", "fig6a"])
 
     def test_aggregate(self):
         agg = experiments.aggregate({"a": 1.0, "b": 4.0})

@@ -1,0 +1,310 @@
+"""Tests for the repro.exec subsystem (jobs, scheduler, cache, progress)."""
+
+import io
+import time
+
+import pytest
+
+import repro.exec
+from repro.bebop import BlockDVTAGEConfig, RecoveryPolicy
+from repro.eval import experiments, reporting
+from repro.eval.runner import RunSpec, get_trace, run_baseline
+from repro.exec import (
+    JobError,
+    JobSpec,
+    JobTimeoutError,
+    ProgressMeter,
+    ResultCache,
+    Scheduler,
+    baseline_job,
+    bebop_job,
+    instr_vp_job,
+    run_job,
+    shard,
+    stats_from_dict,
+    stats_to_dict,
+)
+from repro.pipeline import SimStats
+
+TINY = RunSpec(uops=4_000, warmup=1_000, workloads=("swim", "gobmk"))
+
+
+@pytest.fixture(autouse=True)
+def _reset_default_scheduler():
+    """Experiments dispatch through the module default; leave it serial."""
+    yield
+    repro.exec.reset()
+
+
+# ---------------------------------------------------------------------------
+# Worker functions for the parallel paths: must be top-level to pickle.
+# ---------------------------------------------------------------------------
+
+def _fake_job(spec: JobSpec) -> SimStats:
+    """Cheap stand-in cell: stats derived from the spec, no simulation."""
+    return SimStats(workload=spec.workload, cycles=spec.uops, insts=2 * spec.uops)
+
+
+def _hanging_job(spec: JobSpec) -> SimStats:
+    time.sleep(300)
+    return _fake_job(spec)
+
+
+def _raising_job(spec: JobSpec) -> SimStats:
+    raise RuntimeError(f"boom: {spec.workload}")
+
+
+def _mcf_hangs_job(spec: JobSpec) -> SimStats:
+    if spec.workload == "mcf":
+        time.sleep(300)
+    return _fake_job(spec)
+
+
+class TestJobSpec:
+    def test_digest_stable(self):
+        a = baseline_job("swim", 4000, 1000)
+        b = baseline_job("swim", 4000, 1000)
+        assert a == b
+        assert a.digest() == b.digest()
+
+    def test_digest_changes_with_every_field(self):
+        base = bebop_job("swim", BlockDVTAGEConfig(), 32,
+                         RecoveryPolicy.DNRDNR, 4000, 1000)
+        variants = [
+            bebop_job("gobmk", BlockDVTAGEConfig(), 32,
+                      RecoveryPolicy.DNRDNR, 4000, 1000),        # workload
+            bebop_job("swim", BlockDVTAGEConfig(), 32,
+                      RecoveryPolicy.DNRDNR, 8000, 1000),        # uops
+            bebop_job("swim", BlockDVTAGEConfig(), 32,
+                      RecoveryPolicy.DNRDNR, 4000, 2000),        # warmup
+            bebop_job("swim", BlockDVTAGEConfig(npred=4), 32,
+                      RecoveryPolicy.DNRDNR, 4000, 1000),        # engine config
+            bebop_job("swim", BlockDVTAGEConfig(), 16,
+                      RecoveryPolicy.DNRDNR, 4000, 1000),        # window
+            bebop_job("swim", BlockDVTAGEConfig(), 32,
+                      RecoveryPolicy.REPRED, 4000, 1000),        # policy
+            instr_vp_job("swim", "d-vtage", 4000, 1000),         # engine kind
+            baseline_job("swim", 4000, 1000),                    # pipeline
+        ]
+        digests = {base.digest()} | {v.digest() for v in variants}
+        assert len(digests) == 1 + len(variants)
+
+    def test_dict_roundtrip(self):
+        spec = bebop_job("swim", BlockDVTAGEConfig(stride_bits=16), None,
+                         RecoveryPolicy.DNRR, 4000, 1000)
+        again = JobSpec.from_dict(spec.as_dict())
+        assert again == spec
+        assert again.digest() == spec.digest()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobSpec(workload="swim", pipeline="no_such_core")
+        with pytest.raises(ValueError):
+            JobSpec(workload="swim", engine=("quantum",))
+
+    def test_run_job_matches_direct_baseline(self):
+        spec = baseline_job("swim", 4000, 1000)
+        direct = run_baseline(get_trace("swim", 4000), 1000)
+        assert run_job(spec) == direct
+
+    def test_stats_roundtrip_exact(self):
+        stats = run_job(instr_vp_job("swim", "2d-stride", 4000, 1000))
+        again = stats_from_dict(stats_to_dict(stats))
+        assert again == stats
+        assert again.ipc == stats.ipc
+
+
+class TestShard:
+    def test_round_robin(self):
+        assert shard(list(range(5)), 2) == [[0, 2, 4], [1, 3]]
+
+    def test_keeps_empty_shards(self):
+        assert shard([1], 3) == [[1], [], []]
+
+    def test_deterministic(self):
+        items = list(range(17))
+        assert shard(items, 4) == shard(items, 4)
+        assert sorted(sum(shard(items, 4), [])) == items
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            shard([1], 0)
+
+
+class TestScheduler:
+    def test_parallel_identical_to_serial_fig5a(self):
+        """The acceptance property: jobs=2+ output ≡ jobs=1 output."""
+        repro.exec.configure(jobs=1)
+        serial = experiments.fig5a(TINY)
+        repro.exec.configure(jobs=2)
+        parallel = experiments.fig5a(TINY)
+        assert parallel == serial
+
+    def test_results_in_spec_order(self):
+        specs = [baseline_job(w, 1000 + 100 * k, 0)
+                 for k, w in enumerate(("swim", "mcf", "gcc", "bzip2", "gobmk"))]
+        out = Scheduler(jobs=2, job_fn=_fake_job).run(specs)
+        assert [s.workload for s in out] == [s.workload for s in specs]
+        assert [s.cycles for s in out] == [s.uops for s in specs]
+
+    def test_cache_hit_skips_recompute(self, tmp_path):
+        calls = []
+
+        def counting_job(spec):
+            calls.append(spec.workload)
+            return _fake_job(spec)
+
+        cache = ResultCache(root=tmp_path)
+        specs = [baseline_job("swim", 2000, 500), baseline_job("mcf", 2000, 500)]
+        sched = Scheduler(cache=cache, job_fn=counting_job)
+        first = sched.run(specs)
+        assert calls == ["swim", "mcf"]
+        assert cache.stores == 2
+
+        second = sched.run(specs)
+        assert calls == ["swim", "mcf"]          # no recompute
+        assert cache.hits == 2
+        assert second == first                    # exact float round-trip
+
+    def test_cache_version_salt_invalidates(self, tmp_path):
+        spec = baseline_job("swim", 2000, 500)
+        old = ResultCache(root=tmp_path, version="1")
+        old.put(spec, _fake_job(spec))
+        assert ResultCache(root=tmp_path, version="1").get(spec) is not None
+        assert ResultCache(root=tmp_path, version="2").get(spec) is None
+
+    def test_cache_corrupt_blob_is_a_miss(self, tmp_path):
+        spec = baseline_job("swim", 2000, 500)
+        cache = ResultCache(root=tmp_path)
+        cache.put(spec, _fake_job(spec))
+        cache._path(spec).write_text("{ not json")
+        assert cache.get(spec) is None
+        assert not cache._path(spec).exists()    # dropped, will recompute
+
+    def test_cache_eviction(self, tmp_path):
+        cache = ResultCache(root=tmp_path, max_entries=3)
+        specs = [baseline_job("swim", 1000 + i, 0) for i in range(5)]
+        for spec in specs:
+            cache.put(spec, _fake_job(spec))
+        assert len(cache) == 3
+        assert cache.evictions == 2
+
+    def test_serial_retry_then_success(self):
+        failures = iter([True, False])
+
+        def flaky(spec):
+            if next(failures):
+                raise RuntimeError("transient")
+            return _fake_job(spec)
+
+        out = Scheduler(retries=1, job_fn=flaky).run([baseline_job("swim", 2000, 0)])
+        assert out[0].workload == "swim"
+
+    def test_serial_retries_exhausted(self):
+        def always(spec):
+            raise RuntimeError("permanent")
+
+        with pytest.raises(JobError, match="permanent"):
+            Scheduler(retries=1, job_fn=always).run([baseline_job("swim", 2000, 0)])
+
+    def test_parallel_raising_job_exhausts_retries(self):
+        specs = [baseline_job("swim", 2000, 0), baseline_job("mcf", 2000, 0)]
+        with pytest.raises(JobError, match="boom"):
+            Scheduler(jobs=2, retries=1, job_fn=_raising_job).run(specs)
+
+    def test_parallel_timeout_kills_and_retries(self):
+        """A hung worker trips the timeout, is retried, then fails for good."""
+        specs = [baseline_job("swim", 2000, 0), baseline_job("mcf", 2000, 0)]
+        sched = Scheduler(jobs=2, timeout=1.0, retries=1, job_fn=_hanging_job)
+        t0 = time.monotonic()
+        with pytest.raises(JobTimeoutError):
+            sched.run(specs)
+        # 1 attempt + 1 retry at ~1s each, nowhere near the job's sleep(300).
+        assert time.monotonic() - t0 < 60
+
+    def test_parallel_hang_does_not_lose_finished_sibling(self):
+        """A hung worker poisons the pool, but a cell that already finished
+        is harvested, not recomputed on the retry pass."""
+        meter = ProgressMeter(stream=io.StringIO())
+        specs = [baseline_job("swim", 2000, 0), baseline_job("mcf", 2000, 0)]
+        sched = Scheduler(jobs=2, timeout=3.0, retries=1, progress=meter,
+                          job_fn=_mcf_hangs_job)
+        with pytest.raises(JobTimeoutError):
+            sched.run(specs)
+        assert meter.jobs_done == 1              # swim, exactly once
+
+    def test_parallel_with_cache_end_to_end(self, tmp_path):
+        """Real simulations through the pool, then a warm serial re-read."""
+        cache = ResultCache(root=tmp_path)
+        specs = [baseline_job("swim", 4000, 1000),
+                 baseline_job("gobmk", 4000, 1000)]
+        out = Scheduler(jobs=2, cache=cache).run(specs)
+        assert [s.workload for s in out] == ["swim", "gobmk"]
+        assert cache.stores == 2
+        again = Scheduler(jobs=1, cache=cache).run(specs)
+        assert again == out                      # exact JSON round-trip
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Scheduler(jobs=0)
+        with pytest.raises(ValueError):
+            Scheduler(retries=-1)
+
+
+class TestWarmCacheReport:
+    def test_warm_rerun_is_fast_and_identical(self, tmp_path):
+        """Acceptance: a warm re-run serves every cell from disk and renders
+        a byte-identical report."""
+        cache = ResultCache(root=tmp_path)
+        repro.exec.configure(jobs=1, cache=cache)
+
+        t0 = time.monotonic()
+        cold = experiments.fig5a(TINY)
+        cold_s = time.monotonic() - t0
+        jobs_run = cache.stores
+        assert jobs_run == len(TINY.names()) * (1 + len(experiments.FIG5A_PREDICTORS))
+
+        t0 = time.monotonic()
+        warm = experiments.fig5a(TINY)
+        warm_s = time.monotonic() - t0
+
+        assert warm == cold
+        assert cache.hits == jobs_run            # every cell from disk
+        assert cache.stores == jobs_run          # nothing recomputed
+        assert warm_s < cold_s                   # trivially true: no simulation
+
+        render = lambda r: reporting.render_per_workload(
+            "Fig 5a", r, list(experiments.FIG5A_PREDICTORS))
+        assert render(warm) == render(cold)
+
+
+class TestProgressMeter:
+    def test_counts_and_summary(self):
+        out = io.StringIO()
+        meter = ProgressMeter(stream=out)
+        meter.start(3, "fig5a")
+        meter.tick()
+        meter.tick(cached=True)
+        meter.tick()
+        meter.finish()
+        assert meter.jobs_done == 3 and meter.jobs_cached == 1
+        assert "[3/3]" in out.getvalue()
+        assert "fig5a" in out.getvalue()
+        assert "3 jobs" in meter.summary()
+        assert "1 from cache" in meter.summary()
+
+    def test_disabled_writes_nothing(self):
+        out = io.StringIO()
+        meter = ProgressMeter(stream=out, enabled=False)
+        meter.start(1)
+        meter.tick()
+        meter.finish()
+        assert out.getvalue() == ""
+
+    def test_scheduler_ticks_cached_jobs(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        meter = ProgressMeter(stream=io.StringIO())
+        specs = [baseline_job("swim", 2000, 0), baseline_job("mcf", 2000, 0)]
+        Scheduler(cache=cache, job_fn=_fake_job).run(specs)
+        Scheduler(cache=cache, progress=meter, job_fn=_fake_job).run(specs)
+        assert meter.jobs_done == 2 and meter.jobs_cached == 2
