@@ -9,8 +9,15 @@ served from the on-disk result cache (``~/.cache/repro-bebop/`` or
 the long one — a warm re-run completes in seconds.  Use --quick for a
 reduced sanity run and --no-cache to force recomputation.
 
+With ``--obs`` the run is instrumented by the :mod:`repro.obs`
+observability layer: a CPI-stack section is appended to the report
+(cycle attribution per workload/configuration), key execution metrics
+are printed, and ``--obs-out PATH`` additionally exports the event
+trace as JSONL (first line: the full metrics snapshot).
+
 Run:  python examples/run_experiments.py [--quick] [--jobs N] [--no-cache]
                                          [--skip ID ...] [--out report.txt]
+                                         [--obs] [--obs-out trace.jsonl]
 """
 
 import argparse
@@ -18,6 +25,7 @@ import sys
 import time
 
 import repro.exec
+import repro.obs as obs
 from repro.eval import experiments, reporting
 from repro.eval.experiments import (
     FIG5A_PREDICTORS,
@@ -48,7 +56,16 @@ def main() -> int:
     parser.add_argument("--job-timeout", type=float, default=None, metavar="S",
                         help="seconds to wait per parallel job before "
                              "retrying it (default: no timeout)")
+    parser.add_argument("--obs", action="store_true",
+                        help="enable the observability layer: CPI-stack "
+                             "report section + execution metrics")
+    parser.add_argument("--obs-out", default=None, metavar="PATH",
+                        help="write the event trace as JSONL to PATH "
+                             "(implies --obs; first line is the metrics "
+                             "snapshot)")
     args = parser.parse_args()
+    if args.obs_out:
+        args.obs = True
 
     try:
         validate_experiment_ids(args.skip)
@@ -57,6 +74,8 @@ def main() -> int:
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
+    if args.obs:
+        obs.enable()
     cache = None
     if not args.no_cache:
         cache = repro.exec.ResultCache(root=args.cache_dir)
@@ -130,6 +149,9 @@ def main() -> int:
             per_workload, order)
 
     section("fig8", fig8_text)
+    if args.obs:
+        section("cpi_stack", lambda: reporting.render_cpi_stack(
+            experiments.cpi_stack(spec)))
 
     report = ("\n\n" + "=" * 78 + "\n\n").join(sections)
     print()
@@ -142,6 +164,24 @@ def main() -> int:
     print(f"\n[exec] {args.jobs} worker(s): {progress.summary()}")
     if cache is not None:
         print(f"[exec] {cache.summary()}")
+
+    if args.obs:
+        snapshot = obs.registry().snapshot()
+        keys = ("exec/job/count", "exec/job/seconds", "exec/job/retries",
+                "exec/cache/hits", "exec/cache/misses",
+                "bebop/spec_window/uses", "bebop/attribution/misses")
+        shown = {k: snapshot[k] for k in keys if k in snapshot}
+        print(f"[obs ] {len(snapshot)} metrics; "
+              + ", ".join(f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
+                          for k, v in shown.items()))
+        buf = obs.trace()
+        if args.obs_out:
+            records = buf.export_jsonl(
+                args.obs_out, header={"kind": "metrics", "metrics": snapshot}
+            )
+            print(f"[obs ] {records} trace records written to {args.obs_out}"
+                  + (f" ({buf.dropped} older events dropped from the ring)"
+                     if buf.dropped else ""))
     return 0
 
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 import heapq
 from collections import deque
 
+import repro.obs as obs
 from repro.isa.instruction import DynMicroOp
 from repro.predictors.base import HistoryState
 from repro.bebop.attribution import attribute_predictions
@@ -52,6 +53,18 @@ class BeBoPEngine:
         self.spec_window_hits = 0
         self.spec_window_uses = 0
         self.cold_blocks = 0
+        # Namespaced metrics, hoisted once from the current registry (one
+        # engine per run; run_job creates it under the per-job registry).
+        # `_m_on` gates the per-fetch observations so a disabled registry
+        # costs one attribute check per prediction block.
+        reg = obs.registry()
+        self._m_on = reg.enabled
+        self._m_window_uses = reg.counter("bebop/spec_window/uses")
+        self._m_cold_blocks = reg.counter("bebop/spec_window/cold_blocks")
+        self._m_occupancy = reg.histogram("bebop/spec_window/occupancy")
+        self._m_uq_depth = reg.histogram("bebop/update_queue/depth")
+        self._m_attr_requests = reg.counter("bebop/attribution/requests")
+        self._m_attr_misses = reg.counter("bebop/attribution/misses")
 
     # -- training application -------------------------------------------------
 
@@ -97,6 +110,15 @@ class BeBoPEngine:
             last_values = readout.lvt_last  # zeros; entry is cold
             usable = False
             self.cold_blocks += 1
+        if self._m_on:
+            # Occupancy sampled before this block's insert: what the
+            # hardware's associative probe actually searched.
+            self._m_occupancy.observe(len(self.window))
+            self._m_uq_depth.observe(len(self.fifo))
+            if spec_values is not None:
+                self._m_window_uses.inc()
+            elif not readout.lvt_hit:
+                self._m_cold_blocks.inc()
         values = self.predictor.compose(readout, last_values)
         self.window.insert(block_pc, first_seq, values)
         pending = PendingBlock(first_seq, block_pc, hist, readout, values)
@@ -118,6 +140,13 @@ class BeBoPEngine:
         slots = attribute_predictions(
             readout.byte_tags, [uop.boundary for _pos, uop in eligible]
         )
+        if self._m_on and eligible:
+            # An attribution miss: a VP-eligible µ-op whose byte boundary
+            # matched no prediction slot (§V-B's tag-mismatch case).
+            self._m_attr_requests.inc(len(eligible))
+            missed = sum(1 for slot in slots if slot is None)
+            if missed:
+                self._m_attr_misses.inc(missed)
         preds: list[PredUse | None] = [None] * len(uops)
         for (pos, _uop), slot in zip(eligible, slots):
             if slot is None:

@@ -15,6 +15,7 @@ switches every sweep in :mod:`repro.eval.experiments` between serial,
 parallel and cached execution.
 """
 
+from repro.eval.result import ExperimentResult
 from repro.eval.runner import (
     DEFAULT_TRACE_UOPS,
     DEFAULT_WARMUP_UOPS,
@@ -33,6 +34,7 @@ from repro.eval import experiments, reporting
 __all__ = [
     "DEFAULT_TRACE_UOPS",
     "DEFAULT_WARMUP_UOPS",
+    "ExperimentResult",
     "RunSpec",
     "get_trace",
     "make_instr_predictor",

@@ -1,9 +1,14 @@
 """One entry point per table/figure of the paper's Section VI.
 
-Every function returns plain data structures (dicts keyed by workload /
-configuration) so tests can assert on shapes and the reporting module can
-render them.  Speedups are IPC ratios on identical traces; aggregates use
-the geometric mean like the paper.
+Every function returns an :class:`~repro.eval.result.ExperimentResult` —
+the rows (dicts keyed by workload / configuration, exactly what these
+functions returned before the typed API) plus the :class:`RunSpec`
+provenance, a column presentation order, and execution metadata (elapsed
+time, cache hit/miss deltas).  ``ExperimentResult`` implements the full
+read-only mapping protocol over its rows and compares equal to the plain
+dict, so existing subscripting and assertions keep working.  Speedups are
+IPC ratios on identical traces; aggregates use the geometric mean like
+the paper.
 
 Execution is delegated to :mod:`repro.exec`: each sweep is decomposed into
 a flat list of :class:`~repro.exec.JobSpec` cells and fanned out through
@@ -15,9 +20,13 @@ cell is a pure function of its spec).
 
 from __future__ import annotations
 
+import time
+
 from repro.bebop import BlockDVTAGEConfig, RecoveryPolicy
+from repro.obs import CPIStackCollector
 from repro.pipeline.stats import gmean
 from repro.storage import TABLE_III, TableIIIConfig, breakdown
+from repro.eval.result import ExperimentResult
 from repro.eval.runner import RunSpec
 
 
@@ -44,6 +53,7 @@ KNOWN_EXPERIMENTS = (
     "fig7a",
     "fig7b",
     "fig8",
+    "cpi_stack",
 )
 
 #: Fig 5a predictor line-up, in the paper's legend order.
@@ -103,6 +113,37 @@ def _ipcs(jobs, label: str = "") -> list[float]:
     return [stats.ipc for stats in _exec().run_specs(jobs, label=label)]
 
 
+def _meta_start() -> dict:
+    """Baseline readings for :func:`_meta_finish`'s deltas."""
+    cache = _exec().current_scheduler().cache
+    return {
+        "t0": time.perf_counter(),
+        "hits": cache.hits if cache is not None else 0,
+        "misses": cache.misses if cache is not None else 0,
+    }
+
+
+def _meta_finish(start: dict) -> dict:
+    """Execution metadata for an :class:`ExperimentResult`: wall-clock,
+    worker count, — when a result cache is attached — how much of this
+    sweep was answered from disk, and — when observability is on — the
+    registry snapshot as of this experiment's completion.  Meta never
+    participates in result equality."""
+    import repro.obs as obs
+
+    sched = _exec().current_scheduler()
+    meta = {
+        "elapsed_seconds": time.perf_counter() - start["t0"],
+        "jobs": sched.jobs,
+    }
+    if sched.cache is not None:
+        meta["cache_hits"] = sched.cache.hits - start["hits"]
+        meta["cache_misses"] = sched.cache.misses - start["misses"]
+    if obs.enabled():
+        meta["metrics"] = obs.registry().snapshot()
+    return meta
+
+
 def _baselines(spec: RunSpec) -> dict[str, float]:
     """Baseline_6_60 IPC per workload."""
     names = spec.names()
@@ -120,24 +161,28 @@ def aggregate(speedups: dict[str, float]) -> dict[str, float]:
 # Table II — baseline IPC per benchmark.
 # ---------------------------------------------------------------------------
 
-def table2_ipc(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
+def table2_ipc(spec: RunSpec = RunSpec()) -> ExperimentResult:
     """Per-workload baseline IPC next to the paper's Table II IPC."""
     from repro.workloads.suite import get_spec
 
+    start = _meta_start()
     names = spec.names()
     ipcs = _baselines(spec)
-    return {
+    rows = {
         name: {"ipc": ipcs[name], "paper_ipc": get_spec(name).paper_ipc}
         for name in names
     }
+    return ExperimentResult("table2", rows, columns=("ipc", "paper_ipc"),
+                            spec=spec, meta=_meta_finish(start))
 
 
 # ---------------------------------------------------------------------------
 # Fig 5a — instruction-based predictors over Baseline_6_60.
 # ---------------------------------------------------------------------------
 
-def fig5a(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
+def fig5a(spec: RunSpec = RunSpec()) -> ExperimentResult:
     """Speedup of each predictor over Baseline_6_60, per workload."""
+    start = _meta_start()
     names = spec.names()
     base = _baselines(spec)
     jobs = [
@@ -150,15 +195,17 @@ def fig5a(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
     for kind in FIG5A_PREDICTORS:
         for name in names:
             out[name][kind] = next(ipcs) / base[name]
-    return out
+    return ExperimentResult("fig5a", out, columns=FIG5A_PREDICTORS,
+                            spec=spec, meta=_meta_finish(start))
 
 
 # ---------------------------------------------------------------------------
 # Fig 5b — EOLE_4_60 over Baseline_VP_6_60 (both with instr D-VTAGE).
 # ---------------------------------------------------------------------------
 
-def fig5b(spec: RunSpec = RunSpec()) -> dict[str, float]:
+def fig5b(spec: RunSpec = RunSpec()) -> ExperimentResult:
     """EOLE at issue-4 should preserve Baseline_VP_6_60 performance."""
+    start = _meta_start()
     names = spec.names()
     jobs = [_exec().instr_vp_job(n, "d-vtage", spec.uops, spec.warmup)
             for n in names]
@@ -166,7 +213,9 @@ def fig5b(spec: RunSpec = RunSpec()) -> dict[str, float]:
              for n in names]
     ipcs = _ipcs(jobs, "fig5b")
     vp6, eole4 = ipcs[: len(names)], ipcs[len(names):]
-    return {name: eole4[i] / vp6[i] for i, name in enumerate(names)}
+    rows = {name: eole4[i] / vp6[i] for i, name in enumerate(names)}
+    return ExperimentResult("fig5b", rows, spec=spec,
+                            meta=_meta_finish(start))
 
 
 # ---------------------------------------------------------------------------
@@ -207,8 +256,9 @@ def _bebop_sweep(
     return out
 
 
-def fig6a(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
+def fig6a(spec: RunSpec = RunSpec()) -> ExperimentResult:
     """Npred / table-size sweep: {config label: {workload: speedup}}."""
+    start = _meta_start()
     cells = []
     for npred, base_entries, tagged_entries in FIG6A_GEOMETRIES:
         label = f"{npred}p {base_entries // 1024}K+6x{tagged_entries}"
@@ -216,11 +266,14 @@ def fig6a(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
             npred=npred, base_entries=base_entries, tagged_entries=tagged_entries
         )
         cells.append((label, config, None, RecoveryPolicy.DNRDNR))
-    return _bebop_sweep(spec, cells, "fig6a")
+    rows = _bebop_sweep(spec, cells, "fig6a")
+    return ExperimentResult("fig6a", rows, columns=spec.names(),
+                            spec=spec, meta=_meta_finish(start))
 
 
-def fig6b(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
+def fig6b(spec: RunSpec = RunSpec()) -> ExperimentResult:
     """Base-size vs tagged-size sweep at 6 predictions per entry."""
+    start = _meta_start()
     cells = []
     for base_entries, tagged_entries in FIG6B_GEOMETRIES:
         base_label = f"{base_entries // 1024}K" if base_entries >= 1024 else str(base_entries)
@@ -229,15 +282,18 @@ def fig6b(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
             npred=6, base_entries=base_entries, tagged_entries=tagged_entries
         )
         cells.append((label, config, None, RecoveryPolicy.DNRDNR))
-    return _bebop_sweep(spec, cells, "fig6b")
+    rows = _bebop_sweep(spec, cells, "fig6b")
+    return ExperimentResult("fig6b", rows, columns=spec.names(),
+                            spec=spec, meta=_meta_finish(start))
 
 
 # ---------------------------------------------------------------------------
 # §VI-B(a) — partial strides.
 # ---------------------------------------------------------------------------
 
-def partial_strides(spec: RunSpec = RunSpec()) -> dict[int, dict[str, object]]:
+def partial_strides(spec: RunSpec = RunSpec()) -> ExperimentResult:
     """Stride width sweep: speedup over the EOLE reference + storage."""
+    start = _meta_start()
     cells = [
         (str(bits), BlockDVTAGEConfig(stride_bits=bits), None,
          RecoveryPolicy.DNRDNR)
@@ -264,38 +320,46 @@ def partial_strides(spec: RunSpec = RunSpec()) -> dict[int, dict[str, object]]:
             "aggregate": aggregate(speedups),
             "storage_kb": storage.total_kb,
         }
-    return out
+    return ExperimentResult("partial_strides", out, spec=spec,
+                            meta=_meta_finish(start))
 
 
 # ---------------------------------------------------------------------------
 # Fig 7a — recovery policies; Fig 7b — window sizes.
 # ---------------------------------------------------------------------------
 
-def fig7a(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
+def fig7a(spec: RunSpec = RunSpec()) -> ExperimentResult:
     """Recovery-policy sweep with an infinite speculative window."""
+    start = _meta_start()
     cells = [
         (policy.value, BlockDVTAGEConfig(), None, policy)
         for policy in (RecoveryPolicy.IDEAL, RecoveryPolicy.REPRED,
                        RecoveryPolicy.DNRDNR, RecoveryPolicy.DNRR)
     ]
-    return _bebop_sweep(spec, cells, "fig7a")
+    rows = _bebop_sweep(spec, cells, "fig7a")
+    return ExperimentResult("fig7a", rows, columns=spec.names(),
+                            spec=spec, meta=_meta_finish(start))
 
 
-def fig7b(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
+def fig7b(spec: RunSpec = RunSpec()) -> ExperimentResult:
     """Speculative-window size sweep under the DnRDnR policy."""
+    start = _meta_start()
     cells = []
     for size in FIG7B_WINDOW_SIZES:
         label = "inf" if size is None else ("none" if size == 0 else str(size))
         cells.append((label, BlockDVTAGEConfig(), size, RecoveryPolicy.DNRDNR))
-    return _bebop_sweep(spec, cells, "fig7b")
+    rows = _bebop_sweep(spec, cells, "fig7b")
+    return ExperimentResult("fig7b", rows, columns=spec.names(),
+                            spec=spec, meta=_meta_finish(start))
 
 
 # ---------------------------------------------------------------------------
 # Table III — storage budgets; Fig 8 — final configurations.
 # ---------------------------------------------------------------------------
 
-def table3_storage() -> dict[str, dict[str, float]]:
+def table3_storage() -> ExperimentResult:
     """Computed vs published storage of the four final configurations."""
+    start = _meta_start()
     out = {}
     for config in TABLE_III:
         b = breakdown(config)
@@ -307,16 +371,22 @@ def table3_storage() -> dict[str, dict[str, float]]:
             "tagged_kb": b.tagged_bits / 8 / 1000,
             "window_kb": b.window_bits / 8 / 1000,
         }
-    return out
+    return ExperimentResult(
+        "table3", out,
+        columns=("computed_kb", "paper_kb", "lvt_kb", "vt0_kb",
+                 "tagged_kb", "window_kb"),
+        meta=_meta_finish(start),
+    )
 
 
-def fig8(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
+def fig8(spec: RunSpec = RunSpec()) -> ExperimentResult:
     """Final configurations over Baseline_6_60, plus the two references.
 
-    Returns {config label: {workload: speedup over Baseline_6_60}} for
+    Rows are {config label: {workload: speedup over Baseline_6_60}} for
     Baseline_VP_6_60, EOLE_4_60 (both idealistic instruction-based D-VTAGE)
     and the four Table III block-based configurations.
     """
+    start = _meta_start()
     names = spec.names()
     base = _baselines(spec)
 
@@ -335,4 +405,54 @@ def fig8(spec: RunSpec = RunSpec()) -> dict[str, dict[str, float]]:
     out: dict[str, dict[str, float]] = {}
     for label in ("Baseline_VP_6_60", "EOLE_4_60", *FIG8_CONFIGS):
         out[label] = {name: next(ipcs) / base[name] for name in names}
-    return out
+    return ExperimentResult(
+        "fig8", out,
+        columns=("Baseline_VP_6_60", "EOLE_4_60", *FIG8_CONFIGS),
+        spec=spec, meta=_meta_finish(start),
+    )
+
+
+# ---------------------------------------------------------------------------
+# CPI stacks — where do the cycles go (repro.obs observability layer)?
+# ---------------------------------------------------------------------------
+
+#: Pipeline configurations the CPI-stack experiment breaks down.
+CPI_STACK_CONFIGS = ("Baseline_6_60", "EOLE_4_60_BeBoP")
+
+
+def cpi_stack(spec: RunSpec = RunSpec()) -> ExperimentResult:
+    """Cycle attribution per (workload × configuration).
+
+    Rows are ``{workload: {config: CPIStack}}`` for the no-VP baseline and
+    the BeBoP default configuration on EOLE_4_60.  Runs in-process (not
+    through :mod:`repro.exec`): the collector rides along with the
+    simulation and is not part of the cacheable :class:`SimStats` result.
+    Every stack's components sum exactly to the run's ``cycles`` —
+    :meth:`CPIStack.check` raises otherwise.
+    """
+    from repro.eval.runner import (
+        get_trace,
+        make_bebop_engine,
+        run_baseline,
+        run_bebop_eole,
+    )
+
+    start = _meta_start()
+    rows: dict[str, dict[str, object]] = {}
+    for name in spec.names():
+        trace = get_trace(name, spec.uops)
+        stacks: dict[str, object] = {}
+
+        collector = CPIStackCollector()
+        run_baseline(trace, spec.warmup, cpi=collector)
+        collector.stack.config = "Baseline_6_60"
+        stacks["Baseline_6_60"] = collector.stack
+
+        collector = CPIStackCollector()
+        run_bebop_eole(trace, make_bebop_engine(), spec.warmup, cpi=collector)
+        collector.stack.config = "EOLE_4_60_BeBoP"
+        stacks["EOLE_4_60_BeBoP"] = collector.stack
+
+        rows[name] = stacks
+    return ExperimentResult("cpi_stack", rows, columns=CPI_STACK_CONFIGS,
+                            spec=spec, meta=_meta_finish(start))

@@ -7,17 +7,31 @@ the matching text tables for EXPERIMENTS.md and the benches' console output.
 
 from __future__ import annotations
 
+from repro.obs import CPI_COMPONENTS
 from repro.eval.experiments import aggregate
 
 
 def render_per_workload(
     title: str, rows: dict[str, dict[str, float]], column_order: list[str] | None = None
 ) -> str:
-    """Per-benchmark table: one row per workload, one column per config."""
+    """Per-benchmark table: one row per workload, one column per config.
+
+    ``rows`` may be a plain dict or an
+    :class:`~repro.eval.result.ExperimentResult`.  When ``column_order``
+    is ``None``, the result's own ``columns`` attribute wins; failing
+    that, columns appear in first-seen insertion order — the order the
+    experiment produced them — never alphabetically resorted.
+    """
     workloads = list(rows)
     columns = column_order
     if columns is None:
-        columns = sorted({c for row in rows.values() for c in row})
+        columns = getattr(rows, "columns", None)
+    if columns is None:
+        seen: dict[str, None] = {}
+        for row in rows.values():
+            for c in row:
+                seen.setdefault(c)
+        columns = list(seen)
     lines = [title, ""]
     header = f"{'workload':14s}" + "".join(f"{c:>18s}" for c in columns)
     lines.append(header)
@@ -38,7 +52,12 @@ def render_per_workload(
 
 
 def render_box_summary(title: str, sweeps: dict[str, dict[str, float]]) -> str:
-    """Box-plot style summary: one row per swept configuration."""
+    """Box-plot style summary: one row per swept configuration.
+
+    ``sweeps`` may be a plain dict or an
+    :class:`~repro.eval.result.ExperimentResult` (any mapping of
+    ``{config label: {workload: speedup}}``).
+    """
     lines = [title, ""]
     header = f"{'config':22s}{'gmean':>10s}{'min':>10s}{'max':>10s}"
     lines.append(header)
@@ -77,6 +96,32 @@ def render_table3(results: dict[str, dict[str, float]]) -> str:
             f"{row['lvt_kb']:9.2f}{row['vt0_kb']:9.2f}"
             f"{row['tagged_kb']:9.2f}{row['window_kb']:9.2f}"
         )
+    return "\n".join(lines)
+
+
+def render_cpi_stack(results) -> str:
+    """CPI-stack table: one row per (workload × config), one column per
+    attribution component, values as fractions of total cycles.
+
+    ``results`` is the :func:`repro.eval.experiments.cpi_stack` result
+    (any mapping of ``{workload: {config: CPIStack}}``).  Each stack is
+    re-:meth:`~repro.obs.CPIStack.check`-ed before rendering so a table
+    can never show a breakdown that does not sum to the run's cycles.
+    """
+    lines = ["CPI stacks — fraction of cycles by cause", ""]
+    header = f"{'workload':12s}{'config':18s}{'CPI':>7s}" + "".join(
+        f"{c:>16s}" for c in CPI_COMPONENTS
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for workload, stacks in results.items():
+        for config, stack in stacks.items():
+            stack.check()
+            line = f"{workload:12s}{config:18s}{stack.cpi:7.3f}"
+            line += "".join(
+                f"{stack.fraction(c):16.3f}" for c in CPI_COMPONENTS
+            )
+            lines.append(line)
     return "\n".join(lines)
 
 

@@ -122,36 +122,48 @@ def make_bebop_engine(
     return BeBoPEngine(predictor, SpeculativeWindow(window), policy)
 
 
-def run_baseline(trace: Trace, warmup: int = DEFAULT_WARMUP_UOPS) -> SimStats:
-    """Baseline_6_60: no value prediction."""
-    return PipelineModel(BASELINE_6_60).run(trace, warmup_uops=warmup)
+def run_baseline(
+    trace: Trace,
+    warmup: int = DEFAULT_WARMUP_UOPS,
+    cpi=None,
+) -> SimStats:
+    """Baseline_6_60: no value prediction.
+
+    ``cpi`` (here and in the other runners) is an optional
+    :class:`~repro.obs.CPIStackCollector` that receives the run's cycle
+    attribution; ``None`` keeps the model on its uninstrumented fast path.
+    """
+    return PipelineModel(BASELINE_6_60).run(trace, warmup_uops=warmup, cpi=cpi)
 
 
 def run_instr_vp(
     trace: Trace,
     predictor: ValuePredictor,
     warmup: int = DEFAULT_WARMUP_UOPS,
+    cpi=None,
 ) -> SimStats:
     """Baseline_VP_6_60 with an instruction-based predictor."""
     model = PipelineModel(baseline_vp_6_60(), InstructionVPAdapter(predictor))
-    return model.run(trace, warmup_uops=warmup)
+    return model.run(trace, warmup_uops=warmup, cpi=cpi)
 
 
 def run_eole_instr_vp(
     trace: Trace,
     predictor: ValuePredictor,
     warmup: int = DEFAULT_WARMUP_UOPS,
+    cpi=None,
 ) -> SimStats:
     """EOLE_4_60 with an instruction-based predictor (Fig 5b)."""
     model = PipelineModel(eole_4_60(), InstructionVPAdapter(predictor))
-    return model.run(trace, warmup_uops=warmup)
+    return model.run(trace, warmup_uops=warmup, cpi=cpi)
 
 
 def run_bebop_eole(
     trace: Trace,
     engine: BeBoPEngine,
     warmup: int = DEFAULT_WARMUP_UOPS,
+    cpi=None,
 ) -> SimStats:
     """EOLE_4_60 with block-based (BeBoP) value prediction."""
     model = PipelineModel(eole_4_60(), engine)
-    return model.run(trace, warmup_uops=warmup)
+    return model.run(trace, warmup_uops=warmup, cpi=cpi)

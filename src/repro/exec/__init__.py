@@ -31,6 +31,7 @@ from repro.exec.jobs import (
     bebop_job,
     instr_vp_job,
     run_job,
+    run_job_observed,
     stats_from_dict,
     stats_to_dict,
 )
@@ -93,6 +94,7 @@ __all__ = [
     "instr_vp_job",
     "reset",
     "run_job",
+    "run_job_observed",
     "run_specs",
     "shard",
     "stats_from_dict",

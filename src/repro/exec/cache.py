@@ -21,6 +21,7 @@ import json
 import os
 from pathlib import Path
 
+import repro.obs as obs
 from repro.pipeline import SimStats
 from repro.exec.jobs import JobSpec, stats_from_dict, stats_to_dict
 
@@ -75,13 +76,16 @@ class ResultCache:
             stats = stats_from_dict(blob["stats"])
         except FileNotFoundError:
             self.misses += 1
+            obs.counter("exec/cache/misses").inc()
             return None
         except (json.JSONDecodeError, KeyError, TypeError, OSError):
             # Corrupt or foreign blob: drop it and recompute.
             path.unlink(missing_ok=True)
             self.misses += 1
+            obs.counter("exec/cache/misses").inc()
             return None
         self.hits += 1
+        obs.counter("exec/cache/hits").inc()
         return stats
 
     def put(self, spec: JobSpec, stats: SimStats) -> None:
@@ -94,6 +98,7 @@ class ResultCache:
             json.dump(blob, f)
         os.replace(tmp, path)
         self.stores += 1
+        obs.counter("exec/cache/stores").inc()
         if self.max_entries is not None:
             self.prune(self.max_entries)
 
@@ -106,6 +111,8 @@ class ResultCache:
             path.unlink(missing_ok=True)
             evicted += 1
         self.evictions += evicted
+        if evicted:
+            obs.counter("exec/cache/evictions").inc(evicted)
         return evicted
 
     def clear(self) -> int:

@@ -19,6 +19,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import time
 from dataclasses import dataclass
 
 from repro.bebop import BlockDVTAGEConfig, RecoveryPolicy
@@ -200,6 +201,27 @@ def run_job(spec: JobSpec) -> SimStats:
     engine = make_bebop_engine(config, window=window,
                                policy=RecoveryPolicy(policy))
     return run_bebop_eole(trace, engine, spec.warmup)
+
+
+def run_job_observed(fn, spec: JobSpec) -> tuple[SimStats, dict]:
+    """Execute ``fn(spec)`` under a fresh per-job metrics registry.
+
+    The worker-process side of metric collection: pool workers are reused
+    across jobs, so each job records into its own scoped registry whose
+    flat snapshot travels back with the result and is merged into the
+    parent's registry by the scheduler (``registry.merge`` sums counters,
+    keeping parallel totals equal to serial totals).  Top-level and
+    picklable for ``ProcessPoolExecutor``, like :func:`run_job`.
+    """
+    import repro.obs as obs
+
+    reg = obs.MetricsRegistry(enabled=True)
+    with obs.scoped_registry(reg):
+        t0 = time.perf_counter()
+        result = fn(spec)
+        reg.counter("exec/job/count").inc()
+        reg.counter("exec/job/seconds").inc(time.perf_counter() - t0)
+    return result, reg.snapshot()
 
 
 def stats_to_dict(stats: SimStats) -> dict:

@@ -22,12 +22,14 @@ reference semantics; the parallel path exists purely to buy wall-clock.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from typing import Callable, Sequence
 
+import repro.obs as obs
 from repro.pipeline import SimStats
 from repro.exec.cache import ResultCache
-from repro.exec.jobs import JobSpec, run_job
+from repro.exec.jobs import JobSpec, run_job, run_job_observed
 from repro.exec.progress import ProgressMeter
 
 #: Consecutive pool deaths tolerated before falling back to serial.
@@ -120,24 +122,31 @@ class Scheduler:
             self.progress.start(len(specs), label)
         results: list[SimStats | None] = [None] * len(specs)
 
-        pending: list[int] = []
-        for i, spec in enumerate(specs):
-            # `is not None`: an empty ResultCache is falsy (it has __len__).
-            hit = self.cache.get(spec) if self.cache is not None else None
-            if hit is not None:
-                results[i] = hit
-                self._tick(cached=True)
-            else:
-                pending.append(i)
+        with obs.span("exec/batch", label=label, jobs=self.jobs) as span:
+            pending: list[int] = []
+            for i, spec in enumerate(specs):
+                # `is not None`: an empty ResultCache is falsy (has __len__).
+                hit = self.cache.get(spec) if self.cache is not None else None
+                if hit is not None:
+                    results[i] = hit
+                    self._tick(cached=True)
+                else:
+                    pending.append(i)
 
-        if pending:
-            if self.jobs <= 1 or (len(pending) == 1 and self.timeout is None):
-                self._run_serial(specs, pending, results)
-            else:
-                self._run_parallel(specs, pending, results)
-            if self.cache is not None:
-                for i in pending:
-                    self.cache.put(specs[i], results[i])
+            if pending:
+                if self.jobs <= 1 or (
+                    len(pending) == 1 and self.timeout is None
+                ):
+                    self._run_serial(specs, pending, results)
+                else:
+                    self._run_parallel(specs, pending, results)
+                if self.cache is not None:
+                    for i in pending:
+                        self.cache.put(specs[i], results[i])
+
+            span["total"] = len(specs)
+            span["computed"] = len(pending)
+            span["cached"] = len(specs) - len(pending)
 
         if self.progress:
             self.progress.finish()
@@ -146,11 +155,28 @@ class Scheduler:
     # -- serial path ------------------------------------------------------
 
     def _run_serial(self, specs, pending, results) -> None:
+        observed = obs.enabled()
         for i in pending:
             last: Exception | None = None
-            for _ in range(1 + self.retries):
+            for attempt in range(1 + self.retries):
+                if attempt and observed:
+                    obs.counter("exec/job/retries").inc()
                 try:
-                    results[i] = self.job_fn(specs[i])
+                    if observed:
+                        t0 = time.perf_counter()
+                        results[i] = self.job_fn(specs[i])
+                        dt = time.perf_counter() - t0
+                        reg = obs.registry()
+                        reg.counter("exec/job/count").inc()
+                        reg.counter("exec/job/seconds").inc(dt)
+                        obs.trace().emit(
+                            "exec/job",
+                            spec=specs[i].label(),
+                            seconds=dt,
+                            attempt=attempt,
+                        )
+                    else:
+                        results[i] = self.job_fn(specs[i])
                     last = None
                     break
                 except Exception as exc:
@@ -189,12 +215,23 @@ class Scheduler:
         done: set[int] = set()
         poisoned = False
         pool_broke = False
+        # When observability is on, jobs run wrapped in a per-job worker
+        # registry and return (stats, metrics snapshot); snapshots are
+        # merged in harvest order — which is the deterministic submission
+        # order — so parallel counter totals equal serial totals.
+        observed = obs.enabled()
         try:
             for i in order:
-                futures[i] = pool.submit(self.job_fn, specs[i])
+                if observed:
+                    futures[i] = pool.submit(
+                        run_job_observed, self.job_fn, specs[i]
+                    )
+                else:
+                    futures[i] = pool.submit(self.job_fn, specs[i])
             for i in order:
                 try:
-                    results[i] = futures[i].result(timeout=self.timeout)
+                    self._harvest(i, futures[i].result(timeout=self.timeout),
+                                  specs, results, observed)
                     done.add(i)
                     self._tick()
                 except TimeoutError:
@@ -202,6 +239,14 @@ class Scheduler:
                     # the pool is killed below and survivors harvested.
                     attempts[i] += 1
                     poisoned = True
+                    if observed:
+                        obs.counter("exec/job/retries").inc()
+                        obs.trace().emit(
+                            "exec/timeout",
+                            spec=specs[i].label(),
+                            attempt=attempts[i],
+                            timeout=self.timeout,
+                        )
                     if attempts[i] > self.retries:
                         raise JobTimeoutError(specs[i], self.timeout or 0.0)
                     break
@@ -211,6 +256,8 @@ class Scheduler:
                     break
                 except Exception as exc:
                     attempts[i] += 1
+                    if observed:
+                        obs.counter("exec/job/retries").inc()
                     if attempts[i] > self.retries:
                         raise JobError(
                             specs[i], f"failed after retries: {exc!r}"
@@ -228,7 +275,8 @@ class Scheduler:
                 if fut is not None and fut.done() and not fut.cancelled():
                     try:
                         if fut.exception() is None:
-                            results[i] = fut.result()
+                            self._harvest(i, fut.result(), specs, results,
+                                          observed)
                             done.add(i)
                             self._tick()
                     except Exception:
@@ -238,6 +286,20 @@ class Scheduler:
             else:
                 pool.shutdown(wait=True, cancel_futures=True)
         return [i for i in order if i not in done], pool_broke
+
+    def _harvest(self, i, outcome, specs, results, observed: bool) -> None:
+        """Record one finished job, folding worker metrics into the parent."""
+        if observed:
+            results[i], snapshot = outcome
+            obs.registry().merge(snapshot)
+            obs.trace().emit(
+                "exec/job",
+                spec=specs[i].label(),
+                seconds=snapshot.get("exec/job/seconds"),
+                worker=True,
+            )
+        else:
+            results[i] = outcome
 
     def _tick(self, cached: bool = False) -> None:
         if self.progress:

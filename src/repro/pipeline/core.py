@@ -113,12 +113,18 @@ class PipelineModel:
         trace: Trace,
         warmup_uops: int = 0,
         timeline: list | None = None,
+        cpi: "CPIStackCollector | None" = None,
     ) -> SimStats:
         """Simulate a trace; statistics cover µ-ops after ``warmup_uops``.
 
         When ``timeline`` is a list, one ``(seq, pc, dispatch, complete,
         commit)`` tuple per processed µ-op is appended — used by tests and
         examples to inspect the schedule directly.
+
+        When ``cpi`` is a :class:`repro.obs.CPIStackCollector`, every
+        advance of the commit front over the measured window is attributed
+        to a cause (see :mod:`repro.obs.cpi`); the collector is passive, so
+        the returned stats are bit-identical with and without it.
         """
         cfg = self.config
         uops = trace.uops
@@ -159,6 +165,17 @@ class PipelineModel:
             LatencyClass.FPMUL: cfg.fpmuldiv_count,
             LatencyClass.NONE: cfg.alu_count,
         }
+
+        # CPI-stack attribution (see repro.obs.cpi).  `track` gates every
+        # instrumentation block so the disabled path costs one boolean
+        # check per site; none of these variables feed back into timing.
+        track = cpi is not None
+        redirect_cause = "base"         # cause of the current fetch barrier
+        fe_cause = "base"               # cause of the current block's fetch time
+        disp_cause = "base"
+        exec_cause = "base"
+        reg_cause: dict[int, str] = {}  # why each register's value is late
+        l1d_hit_lat = self.memory.l1d.latency
 
         # Warmup bookkeeping.
         measuring = warmup_uops == 0
@@ -204,6 +221,15 @@ class PipelineModel:
             n_before = len(dispatch_cycles)
             if n_before >= cfg.fetch_queue_uops:
                 c = max(c, dispatch_cycles[n_before - cfg.fetch_queue_uops])
+            if track:
+                # The block's fetch is redirect-bound when the fetch
+                # barrier is what it waited on; fetch-queue backpressure
+                # and plain fetch flow are baseline behaviour.
+                fe_cause = (
+                    redirect_cause
+                    if next_fetch_min > fetch_cycle and next_fetch_min >= c
+                    else "base"
+                )
             if c > fetch_cycle:
                 fetch_cycle = c
                 blocks_in_cycle = 0
@@ -220,6 +246,7 @@ class PipelineModel:
                 fetch_cycle = block_avail
                 blocks_in_cycle = 1
                 taken_in_cycle = 0
+                fe_cause = "icache"
 
             # ---- value prediction (block granularity) -----------------------
             hist = HistoryState(self.bhist.value(), self.phist.value())
@@ -282,6 +309,31 @@ class PipelineModel:
                         d = max(d, iq_issues[n_iq - cfg.iq_size])
                     while dispatch_cnt[d] >= cfg.decode_width:
                         d += 1
+                if track:
+                    # Which constraint set the dispatch cycle?  The largest
+                    # candidate wins; occupancy bounds win ties because a
+                    # full backend is the scarcer resource.  (Decode-width
+                    # bumps past the max keep the winner's cause.)
+                    cand = block_avail + cfg.front_end_depth
+                    disp_cause = fe_cause
+                    if last_dispatch > cand:
+                        cand, disp_cause = last_dispatch, "base"
+                    if n_disp >= cfg.rob_size:
+                        t = rob_commits[n_disp - cfg.rob_size] + 1
+                        if t >= cand:
+                            cand, disp_cause = t, "backend_full"
+                    if uop.is_load and len(lq_completes) >= cfg.lq_size:
+                        t = lq_completes[len(lq_completes) - cfg.lq_size]
+                        if t >= cand:
+                            cand, disp_cause = t, "backend_full"
+                    if uop.is_store and len(sq_completes) >= cfg.sq_size:
+                        t = sq_completes[len(sq_completes) - cfg.sq_size]
+                        if t >= cand:
+                            cand, disp_cause = t, "backend_full"
+                    if not bypass_ooo and len(iq_issues) >= cfg.iq_size:
+                        t = iq_issues[len(iq_issues) - cfg.iq_size]
+                        if t >= cand:
+                            cand, disp_cause = t, "backend_full"
                 dispatch_cnt[d] += 1
                 last_dispatch = d
                 dispatch_cycles.append(d)
@@ -342,6 +394,67 @@ class PipelineModel:
                     iq_issues.append(c2)
                     complete = c2 + lat
 
+                if track:
+                    if bypass_ooo:
+                        exec_cause = disp_cause
+                    else:
+                        # Dominant stall component behind `complete`:
+                        # operand wait (inheriting the producer's cause),
+                        # issue/FU contention, or execution latency.
+                        dep_wait = ready - (d + 1)
+                        dep_cause = "base"
+                        if dep_wait > 0:
+                            if (
+                                uop.is_load
+                                and uop.mem_addr is not None
+                                and ready > srcs_ready
+                            ):
+                                dep_cause = "memory"  # store-forward wait
+                            else:
+                                smax = 0
+                                for src in uop.srcs:
+                                    t = reg_avail.get(src, 0)
+                                    if t > smax:
+                                        smax = t
+                                        dep_cause = reg_cause.get(src, "base")
+                        cont_wait = c2 - ready
+                        cont_cause = "base"
+                        if cont_wait > 0:
+                            if lat_class is LatencyClass.MEM:
+                                limit = (
+                                    cfg.load_ports if uop.is_load
+                                    else cfg.store_ports
+                                )
+                                if fu_cnt.get((c2 - 1, lat_class), 0) >= limit:
+                                    cont_cause = "fu"
+                            elif (
+                                lat_class is LatencyClass.DIV
+                                or lat_class is LatencyClass.FPDIV
+                            ):
+                                # Bumps past `ready` are issue-width; the
+                                # max() against the busy unit is the FU.
+                                if issue_cnt.get(c2 - 1, 0) < cfg.issue_width:
+                                    cont_cause = "fu"
+                            elif (
+                                fu_cnt.get((c2 - 1, lat_class), 0)
+                                >= fu_pool[lat_class]
+                            ):
+                                cont_cause = "fu"
+                        if uop.is_load:
+                            lat_cause = (
+                                "memory" if lat > l1d_hit_lat else "base"
+                            )
+                        else:
+                            lat_cause = "fu" if lat > 1 else "base"
+                        exec_cause = disp_cause
+                        w = 0
+                        if dep_wait > w:
+                            w, exec_cause = dep_wait, dep_cause
+                        if cont_wait > w:
+                            w, exec_cause = cont_wait, cont_cause
+                        if lat - 1 > w:
+                            w, exec_cause = lat - 1, lat_cause
+
                 if uop.is_load:
                     lq_completes.append(complete)
                 if uop.is_store:
@@ -355,6 +468,8 @@ class PipelineModel:
                         reg_avail[uop.dest] = d
                     else:
                         reg_avail[uop.dest] = complete
+                    if track:
+                        reg_cause[uop.dest] = exec_cause
 
                 if handle is not None and uop.is_vp_eligible:
                     self.vp.result_uop(handle, k, uop, complete)
@@ -387,6 +502,16 @@ class PipelineModel:
                 while commit_cnt[cc] >= cfg.commit_width:
                     cc += 1
                 commit_cnt[cc] += 1
+                if track and measuring and cc > last_commit:
+                    # Commit-front advance: `stats.cycles` is exactly the
+                    # sum of these deltas over the measured window, so
+                    # attributing each delta once keeps the stack exact.
+                    cpi.account(
+                        exec_cause
+                        if complete + cfg.back_end_depth > last_commit
+                        else "base",        # pure commit-bandwidth bumps
+                        cc - last_commit,
+                    )
                 last_commit = cc
                 rob_commits.append(cc)
 
@@ -397,14 +522,18 @@ class PipelineModel:
                     if mispredicted_branch:
                         if measuring:
                             stats.branch_mispredicts += 1
-                        next_fetch_min = max(next_fetch_min, complete + 1)
+                        if complete + 1 > next_fetch_min:
+                            next_fetch_min = complete + 1
+                            redirect_cause = "branch_redirect"
                         if self.vp is not None:
                             self.vp.branch_squash(uop.seq, complete)
                 elif uop.is_branch and uop.branch_taken:
                     if btb_miss:
                         if measuring:
                             stats.btb_misses += 1
-                        next_fetch_min = max(next_fetch_min, block_avail + 2)
+                        if block_avail + 2 > next_fetch_min:
+                            next_fetch_min = block_avail + 2
+                            redirect_cause = "btb_redirect"
 
                 if timeline is not None:
                     timeline.append((uop.seq, uop.pc, d, complete, cc))
@@ -427,7 +556,11 @@ class PipelineModel:
                         if measuring:
                             stats.vp_squashes += 1
                         reg_avail[uop.dest] = cc
-                        next_fetch_min = max(next_fetch_min, cc + 1)
+                        if track:
+                            reg_cause[uop.dest] = "vp_squash"
+                        if cc + 1 > next_fetch_min:
+                            next_fetch_min = cc + 1
+                            redirect_cause = "vp_squash"
                         remainder = guops[k + 1:]
                         if remainder:
                             next_block_pc = remainder[0].block_pc
@@ -465,4 +598,6 @@ class PipelineModel:
         stats.cycles = max(1, last_commit - base_cycle)
         stats.l1d_misses = self.memory.l1d.misses
         stats.l2_misses = self.memory.l2.misses
+        if cpi is not None:
+            cpi.finish(stats)
         return stats

@@ -2,13 +2,22 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
+from typing import Mapping
 
 
 @dataclass
 class SimStats:
     """Counters collected by one :class:`~repro.pipeline.core.PipelineModel`
-    run, measured over the post-warmup window."""
+    run, measured over the post-warmup window.
+
+    Ad-hoc side-channel counters belong in :mod:`repro.obs` (namespaced
+    metrics on the registry), not here: the dataclass fields are the stable
+    result schema that the on-disk cache serialises and equality compares.
+    The legacy ``extra`` dict survives as a deprecated read-through view —
+    see :attr:`extra` — and is excluded from both.
+    """
 
     workload: str = ""
     config: str = ""
@@ -31,7 +40,40 @@ class SimStats:
     # Memory.
     l1d_misses: int = 0
     l2_misses: int = 0
-    extra: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Non-field state: excluded from ==, repr and dataclasses.asdict,
+        # so attaching metrics can never perturb cached or compared results.
+        self._extra: dict[str, float] = {}
+        self._metrics: Mapping[str, float] | None = None
+
+    def attach_metrics(self, snapshot: Mapping[str, float]) -> None:
+        """Associate a namespaced metrics snapshot (``repro.obs``) with this
+        run; the deprecated :attr:`extra` view reads through to it."""
+        self._metrics = snapshot
+
+    @property
+    def metrics(self) -> Mapping[str, float]:
+        """Namespaced metrics recorded for this run (empty if obs was off)."""
+        return self._metrics if self._metrics is not None else {}
+
+    @property
+    def extra(self) -> dict[str, float]:
+        """Deprecated: use :mod:`repro.obs` namespaced metrics instead.
+
+        Reads through to the attached metrics snapshot (plus any legacy
+        direct writes, which still work when no snapshot is attached)."""
+        warnings.warn(
+            "SimStats.extra is deprecated; read stats.metrics or use the "
+            "repro.obs metrics registry",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if self._metrics:
+            merged = dict(self._metrics)
+            merged.update(self._extra)
+            return merged
+        return self._extra
 
     @property
     def ipc(self) -> float:

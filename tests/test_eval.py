@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.eval import experiments, reporting
+from repro.eval import ExperimentResult, experiments, reporting
 from repro.eval.runner import (
     RunSpec,
     clear_trace_cache,
@@ -102,6 +102,69 @@ class TestExperiments:
         assert agg["min"] == 1.0 and agg["max"] == 4.0
         assert agg["gmean"] == pytest.approx(2.0)
 
+    def test_cpi_stack_structure(self):
+        r = experiments.cpi_stack(TINY)
+        assert isinstance(r, ExperimentResult)
+        assert set(r) == {"swim", "gobmk"}
+        assert r.columns == experiments.CPI_STACK_CONFIGS
+        for stacks in r.values():
+            assert set(stacks) == set(experiments.CPI_STACK_CONFIGS)
+            for stack in stacks.values():
+                stack.check()
+                assert stack.cycles > 0
+
+
+class TestExperimentResult:
+    def test_entry_points_return_typed_results(self):
+        r = experiments.table2_ipc(TINY)
+        assert isinstance(r, ExperimentResult)
+        assert r.experiment == "table2"
+        assert r.spec == TINY
+        assert r.columns == ("ipc", "paper_ipc")
+
+    def test_mapping_protocol(self):
+        r = experiments.table2_ipc(TINY)
+        assert set(r.keys()) == {"swim", "gobmk"}
+        assert "swim" in r and "mcf" not in r
+        assert len(r) == 2
+        assert r.get("mcf") is None
+        assert dict(r.items()) == r.rows
+        assert [k for k in r] == list(r.rows)
+
+    def test_equality_with_plain_dict(self):
+        r = experiments.table3_storage()
+        assert r == r.rows
+        assert r == dict(r.rows)
+        assert r != {"Small_4p": {}}
+
+    def test_equality_ignores_meta(self):
+        a = ExperimentResult("e", {"x": 1}, meta={"elapsed_seconds": 1.0})
+        b = ExperimentResult("e", {"x": 1}, meta={"elapsed_seconds": 9.0})
+        assert a == b
+        assert a != ExperimentResult("other", {"x": 1})
+
+    def test_meta_carries_provenance(self):
+        r = experiments.table2_ipc(TINY)
+        assert r.meta["elapsed_seconds"] > 0
+        assert r.meta["jobs"] == 1
+
+    def test_meta_cache_counters(self, tmp_path):
+        import repro.exec as rexec
+        rexec.configure(cache=rexec.ResultCache(root=tmp_path))
+        try:
+            cold = experiments.table2_ipc(TINY)
+            warm = experiments.table2_ipc(TINY)
+        finally:
+            rexec.reset()
+        assert cold.meta["cache_misses"] == 2 and cold.meta["cache_hits"] == 0
+        assert warm.meta["cache_misses"] == 0 and warm.meta["cache_hits"] == 2
+        assert warm == cold  # meta differs; the result does not
+
+    def test_as_dict_sheds_provenance(self):
+        r = experiments.table3_storage()
+        d = r.as_dict()
+        assert type(d) is dict and d == r.rows and d is not r.rows
+
 
 class TestReporting:
     def test_render_per_workload(self):
@@ -109,6 +172,30 @@ class TestReporting:
             "T", {"swim": {"x": 1.5}, "mcf": {"x": 0.9}}, ["x"]
         )
         assert "swim" in text and "gmean" in text and "1.500" in text
+
+    def test_render_per_workload_insertion_order(self):
+        # No column_order: columns appear as the experiment produced them,
+        # not alphabetically resorted.
+        rows = {"swim": {"zeta": 1.0, "alpha": 2.0}}
+        text = reporting.render_per_workload("T", rows)
+        header = text.splitlines()[2]
+        assert header.index("zeta") < header.index("alpha")
+
+    def test_render_per_workload_uses_result_columns(self):
+        r = ExperimentResult(
+            "e", {"swim": {"alpha": 1.0, "beta": 2.0}}, columns=("beta", "alpha")
+        )
+        header = reporting.render_per_workload("T", r).splitlines()[2]
+        assert header.index("beta") < header.index("alpha")
+
+    def test_render_cpi_stack(self):
+        r = experiments.cpi_stack(
+            RunSpec(uops=6_000, warmup=1_000, workloads=("swim",))
+        )
+        text = reporting.render_cpi_stack(r)
+        assert "swim" in text and "Baseline_6_60" in text
+        for component in ("base", "memory", "fu", "vp_squash"):
+            assert component in text
 
     def test_render_box_summary(self):
         text = reporting.render_box_summary("T", {"cfg": {"a": 1.0, "b": 2.0}})

@@ -1,0 +1,432 @@
+"""Tests for the observability layer (registry, trace, CPI stacks, merge)."""
+
+import json
+import warnings
+
+import pytest
+
+import repro.exec as rexec
+import repro.obs as obs
+from repro.obs import (
+    CPI_COMPONENTS,
+    CPIStack,
+    CPIStackCollector,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRIC,
+    TraceBuffer,
+)
+from repro.pipeline.stats import SimStats
+from repro.eval.runner import (
+    get_trace,
+    make_bebop_engine,
+    make_instr_predictor,
+    run_baseline,
+    run_bebop_eole,
+    run_instr_vp,
+)
+
+UOPS, WARMUP = 8_000, 2_000
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Every test starts and ends with observability off."""
+    obs.disable()
+    rexec.reset()
+    yield
+    obs.disable()
+    rexec.reset()
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry.
+# ---------------------------------------------------------------------------
+
+class TestRegistry:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a/b")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert reg.value("a/b") == 5
+        assert reg.counter("a/b") is c
+
+    def test_gauge(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(3)
+        g.set(7)
+        assert g.value == 7
+
+    def test_histogram(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("occ")
+        for v in (0, 1, 2, 5, 32):
+            h.observe(v)
+        assert h.count == 5
+        assert h.min == 0 and h.max == 32
+        assert h.mean == pytest.approx(8.0)
+        snap = reg.snapshot()
+        assert snap["occ/count"] == 5
+        assert snap["occ/sum"] == 40
+        assert snap["occ/bucket/le_2^0"] == 2     # 0 and 1
+        assert snap["occ/bucket/le_2^1"] == 1     # 2
+        assert snap["occ/bucket/le_2^3"] == 1     # 5
+        assert snap["occ/bucket/le_2^5"] == 1     # 32
+
+    def test_empty_histogram_snapshot(self):
+        reg = MetricsRegistry()
+        reg.histogram("occ")
+        assert reg.snapshot() == {"occ/count": 0}
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x")
+
+    def test_disabled_registry_allocates_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("a") is NULL_METRIC
+        assert reg.gauge("b") is NULL_METRIC
+        assert reg.histogram("c") is NULL_METRIC
+        reg.counter("a").inc(100)
+        reg.histogram("c").observe(5)
+        assert len(reg) == 0
+        assert reg.snapshot() == {}
+
+    def test_snapshot_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.counter("a").inc()
+        assert list(reg.snapshot()) == ["a", "z"]
+
+    def test_tree(self):
+        reg = MetricsRegistry()
+        reg.counter("exec/cache/hits").inc(3)
+        reg.counter("exec/job/count").inc(2)
+        assert reg.tree() == {"exec": {"cache": {"hits": 3},
+                                       "job": {"count": 2}}}
+
+    def test_merge_sums_counters(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(1)
+        reg.merge({"n": 10, "m": 2})
+        reg.merge({"m": 3})
+        assert reg.value("n") == 11
+        assert reg.value("m") == 5
+
+    def test_merge_extrema(self):
+        reg = MetricsRegistry()
+        reg.merge({"occ/min": 4, "occ/max": 9})
+        reg.merge({"occ/min": 2, "occ/max": 7})
+        assert reg.value("occ/min") == 2
+        assert reg.value("occ/max") == 9
+
+    def test_merge_first_extremum_overwrites_default(self):
+        # A fresh Gauge holds 0.0; the first merged */min must not lose to it.
+        reg = MetricsRegistry()
+        reg.merge({"occ/min": 5})
+        assert reg.value("occ/min") == 5
+
+    def test_merge_order_independent_for_ints(self):
+        snaps = [{"n": 3, "occ/min": 2}, {"n": 4, "occ/min": 7},
+                 {"n": 1, "occ/min": 5}]
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for s in snaps:
+            a.merge(s)
+        for s in reversed(snaps):
+            b.merge(s)
+        assert a.snapshot() == b.snapshot()
+
+    def test_merge_into_disabled_is_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.merge({"n": 5})
+        assert len(reg) == 0
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc()
+        reg.reset()
+        assert reg.snapshot() == {}
+
+
+# ---------------------------------------------------------------------------
+# Trace buffer.
+# ---------------------------------------------------------------------------
+
+class TestTraceBuffer:
+    def test_emit_and_filter(self):
+        buf = TraceBuffer(capacity=8)
+        buf.emit("a", x=1)
+        buf.emit("b")
+        buf.emit("a", x=2)
+        assert len(buf) == 3
+        assert [e["x"] for e in buf.events("a")] == [1, 2]
+        assert all("ts" in e for e in buf.events())
+
+    def test_ring_bound_and_dropped(self):
+        buf = TraceBuffer(capacity=4)
+        for i in range(10):
+            buf.emit("e", i=i)
+        assert len(buf) == 4
+        assert buf.dropped == 6
+        assert [e["i"] for e in buf.events()] == [6, 7, 8, 9]
+
+    def test_span_records_duration_and_fields(self):
+        clock_values = iter([1.0, 3.5, 3.5])  # t0, span end, event ts
+        buf = TraceBuffer(clock=lambda: next(clock_values))
+        with buf.span("work", label="x") as span:
+            span["items"] = 7
+        (event,) = buf.events("span")
+        assert event["name"] == "work"
+        assert event["seconds"] == pytest.approx(2.5)
+        assert event["label"] == "x" and event["items"] == 7
+
+    def test_disabled_buffer_records_nothing(self):
+        buf = TraceBuffer(enabled=False)
+        buf.emit("a")
+        with buf.span("s"):
+            pass
+        assert len(buf) == 0
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        buf = TraceBuffer()
+        buf.emit("a", n=1)
+        buf.emit("b", n=2)
+        lines = buf.to_jsonl().splitlines()
+        assert [json.loads(l)["kind"] for l in lines] == ["a", "b"]
+        path = tmp_path / "trace.jsonl"
+        written = buf.export_jsonl(path, header={"kind": "metrics", "m": 3})
+        records = [json.loads(l) for l in path.read_text().splitlines()]
+        assert written == 3
+        assert records[0] == {"kind": "metrics", "m": 3}
+        assert records[1]["n"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Module-level current registry/trace + scoping.
+# ---------------------------------------------------------------------------
+
+class TestObsModule:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+        assert obs.counter("x") is NULL_METRIC
+
+    def test_enable_disable(self):
+        obs.enable()
+        assert obs.enabled()
+        obs.counter("x").inc()
+        assert obs.registry().value("x") == 1
+        obs.trace().emit("e")
+        assert len(obs.trace()) == 1
+        obs.disable()
+        assert not obs.enabled()
+        assert obs.counter("x") is NULL_METRIC
+
+    def test_enable_starts_clean(self):
+        obs.enable()
+        obs.counter("x").inc()
+        obs.enable()
+        assert obs.registry().snapshot() == {}
+
+    def test_scoped_registry(self):
+        obs.enable()
+        obs.counter("outer").inc()
+        with obs.scoped_registry() as inner:
+            obs.counter("inner").inc()
+            assert obs.registry() is inner
+        assert "inner" not in obs.registry()
+        assert obs.registry().value("outer") == 1
+
+
+# ---------------------------------------------------------------------------
+# CPI stacks.
+# ---------------------------------------------------------------------------
+
+def _stack_for(workload: str, config: str) -> tuple[CPIStack, SimStats]:
+    trace = get_trace(workload, UOPS)
+    collector = CPIStackCollector()
+    if config == "baseline":
+        stats = run_baseline(trace, WARMUP, cpi=collector)
+    elif config == "instr_vp":
+        stats = run_instr_vp(trace, make_instr_predictor("d-vtage"), WARMUP,
+                             cpi=collector)
+    else:  # bebop
+        stats = run_bebop_eole(trace, make_bebop_engine(), WARMUP,
+                               cpi=collector)
+    return collector.stack, stats
+
+
+class TestCPIStack:
+    # One representative per workload behaviour class: FP/fu-bound (swim),
+    # memory-bound (mcf), branch-misprediction-bound (gobmk), front-end /
+    # mixed integer (gcc), loop-regular (libquantum), store-heavy (vortex).
+    WORKLOADS = ("swim", "mcf", "gobmk", "gcc", "libquantum", "vortex")
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("config", ("baseline", "instr_vp", "bebop"))
+    def test_stack_sums_exactly_to_cycles(self, workload, config):
+        stack, stats = _stack_for(workload, config)
+        assert stack.cycles == stats.cycles
+        assert sum(stack.components.values()) == stats.cycles
+        stack.check()  # must not raise
+        assert set(stack.components) == set(CPI_COMPONENTS)
+        assert all(v >= 0 for v in stack.components.values())
+
+    def test_attribution_matches_workload_character(self):
+        mcf, _ = _stack_for("mcf", "baseline")
+        assert mcf.fraction("memory") > 0.5
+        gobmk, _ = _stack_for("gobmk", "baseline")
+        assert gobmk.fraction("branch_redirect") > 0.5
+        swim, _ = _stack_for("swim", "baseline")
+        assert swim.fraction("fu") > 0.5
+
+    def test_collector_is_invisible_to_results(self):
+        trace = get_trace("swim", UOPS)
+        plain = run_baseline(trace, WARMUP)
+        observed = run_baseline(trace, WARMUP, cpi=CPIStackCollector())
+        assert plain == observed
+
+    def test_obs_enabled_run_bit_identical(self):
+        trace = get_trace("gcc", UOPS)
+        plain = run_bebop_eole(trace, make_bebop_engine(), WARMUP)
+        obs.enable()
+        observed = run_bebop_eole(trace, make_bebop_engine(), WARMUP,
+                                  cpi=CPIStackCollector())
+        assert len(obs.registry()) > 0  # the engine really recorded metrics
+        obs.disable()
+        assert plain == observed
+
+    def test_check_raises_on_mismatch(self):
+        stack = CPIStack(cycles=10, insts=5)
+        stack.components["base"] = 9
+        with pytest.raises(AssertionError, match="sums to 9"):
+            stack.check()
+
+    def test_finish_pads_clamped_cycles_into_base(self):
+        # A run whose measured window committed nothing still reports
+        # cycles=1 (the max(1, .) clamp); the stack must absorb it.
+        collector = CPIStackCollector()
+        stack = collector.finish(SimStats(cycles=1, insts=0))
+        assert stack.components["base"] == 1
+        stack.check()
+
+    def test_fractions_and_cpi(self):
+        stack, stats = _stack_for("swim", "baseline")
+        assert sum(stack.fraction(c) for c in CPI_COMPONENTS) == pytest.approx(1.0)
+        assert stack.cpi == pytest.approx(stats.cycles / stats.insts)
+        assert sum(stack.cpi_of(c) for c in CPI_COMPONENTS) == pytest.approx(stack.cpi)
+
+    def test_as_dict_component_order(self):
+        stack, _ = _stack_for("swim", "baseline")
+        d = stack.as_dict()
+        assert tuple(d["components"]) == CPI_COMPONENTS
+        assert d["cycles"] == stack.cycles
+
+
+# ---------------------------------------------------------------------------
+# SimStats: metrics attachment and the deprecated extra view.
+# ---------------------------------------------------------------------------
+
+class TestSimStatsMetrics:
+    def test_attach_metrics_does_not_affect_equality(self):
+        a, b = SimStats(cycles=10), SimStats(cycles=10)
+        a.attach_metrics({"bebop/spec_window/uses": 5})
+        assert a == b
+        assert a.metrics == {"bebop/spec_window/uses": 5}
+        assert b.metrics == {}
+
+    def test_extra_is_deprecated_read_through(self):
+        stats = SimStats()
+        stats.attach_metrics({"n": 3})
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            assert stats.extra == {"n": 3}
+
+    def test_extra_legacy_writes_still_work(self):
+        stats = SimStats()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            stats.extra["legacy"] = 1.5
+            assert stats.extra["legacy"] == 1.5
+
+
+# ---------------------------------------------------------------------------
+# Worker-process metric merge (scheduler integration).
+# ---------------------------------------------------------------------------
+
+def _sweep_specs():
+    specs = [rexec.baseline_job(w, UOPS, WARMUP) for w in ("swim", "gcc")]
+    specs.append(rexec.bebop_job("gobmk", uops=UOPS, warmup=WARMUP))
+    specs.append(rexec.instr_vp_job("mcf", "d-vtage", UOPS, WARMUP))
+    return specs
+
+
+def _run_observed(jobs: int):
+    obs.enable()
+    rexec.configure(jobs=jobs)
+    results = rexec.run_specs(_sweep_specs(), label=f"obs-{jobs}")
+    snapshot = obs.registry().snapshot()
+    kinds = [e["kind"] for e in obs.trace().events()]
+    obs.disable()
+    rexec.reset()
+    return results, snapshot, kinds
+
+
+class TestWorkerMetricMerge:
+    def test_parallel_merge_matches_serial(self):
+        r1, s1, k1 = _run_observed(jobs=1)
+        r2, s2, k2 = _run_observed(jobs=2)
+        # Results are bit-identical regardless of worker count...
+        assert r1 == r2
+        # ...and so is every integer-valued metric (float ones — wall-clock
+        # seconds, histogram sums over floats — legitimately differ).
+        ints1 = {k: v for k, v in s1.items() if isinstance(v, int)}
+        ints2 = {k: v for k, v in s2.items() if isinstance(v, int)}
+        assert ints1 == ints2
+        assert ints1["exec/job/count"] == 4
+        # The BeBoP cell's engine metrics made it back from the worker.
+        assert ints1["bebop/spec_window/occupancy/count"] > 0
+        # Both modes traced one event per job plus the batch span.
+        assert k1.count("exec/job") == 4 and k2.count("exec/job") == 4
+        assert k1.count("span") == 1 and k2.count("span") == 1
+
+    def test_batch_span_counts_cache_hits(self, tmp_path):
+        obs.enable()
+        cache = rexec.ResultCache(root=tmp_path)
+        rexec.configure(cache=cache)
+        specs = [rexec.baseline_job("swim", UOPS, WARMUP)]
+        rexec.run_specs(specs, label="cold")
+        rexec.run_specs(specs, label="warm")
+        spans = obs.trace().events("span")
+        assert [s["computed"] for s in spans] == [1, 0]
+        assert [s["cached"] for s in spans] == [0, 1]
+        snap = obs.registry().snapshot()
+        assert snap["exec/cache/misses"] == 1
+        assert snap["exec/cache/hits"] == 1
+        assert snap["exec/cache/stores"] == 1
+
+    def test_experiment_meta_carries_metrics_snapshot(self):
+        from repro.eval import experiments
+        from repro.eval.runner import RunSpec
+        tiny = RunSpec(uops=6_000, warmup=1_000, workloads=("swim",))
+        obs.enable()
+        r = experiments.table2_ipc(tiny)
+        obs.disable()
+        assert r.meta["metrics"]["exec/job/count"] == 1
+        plain = experiments.table2_ipc(tiny)
+        assert "metrics" not in plain.meta
+        assert r == plain  # meta (including metrics) never affects equality
+
+    def test_disabled_obs_adds_no_metrics(self, tmp_path):
+        cache = rexec.ResultCache(root=tmp_path)
+        rexec.configure(cache=cache)
+        rexec.run_specs([rexec.baseline_job("swim", UOPS, WARMUP)])
+        assert len(obs.registry()) == 0
+        assert len(obs.trace()) == 0
+        # The cache's own instance counters still work without obs.
+        assert cache.misses == 1 and cache.stores == 1
