@@ -15,12 +15,22 @@ observability layer: a CPI-stack section is appended to the report
 are printed, and ``--obs-out PATH`` additionally exports the event
 trace as JSONL (first line: the full metrics snapshot).
 
+With ``--timeline OUT`` one additional short traced simulation (BeBoP
+on EOLE_4_60, first workload of the run) is recorded per-µop by a
+:class:`repro.obs.TimelineRecorder` and exported as a Chrome
+``trace_event`` JSON (open in https://ui.perfetto.dev) or, with
+``--timeline-format konata``, as a Konata pipeline log; a
+prediction-provenance report section is appended as well.
+
 Run:  python examples/run_experiments.py [--quick] [--jobs N] [--no-cache]
                                          [--skip ID ...] [--out report.txt]
                                          [--obs] [--obs-out trace.jsonl]
+                                         [--timeline OUT.json]
+                                         [--timeline-format chrome|konata]
 """
 
 import argparse
+import os
 import sys
 import time
 
@@ -63,8 +73,17 @@ def main() -> int:
                         help="write the event trace as JSONL to PATH "
                              "(implies --obs; first line is the metrics "
                              "snapshot)")
+    parser.add_argument("--timeline", default=None, metavar="PATH",
+                        help="run one short traced simulation and write the "
+                             "per-µop pipeline timeline to PATH "
+                             "(implies --obs)")
+    parser.add_argument("--timeline-format", default="chrome",
+                        choices=("chrome", "konata"),
+                        help="timeline export format: Chrome trace_event "
+                             "JSON for Perfetto (default) or a Konata "
+                             "pipeline log")
     args = parser.parse_args()
-    if args.obs_out:
+    if args.obs_out or args.timeline:
         args.obs = True
 
     try:
@@ -152,11 +171,14 @@ def main() -> int:
     if args.obs:
         section("cpi_stack", lambda: reporting.render_cpi_stack(
             experiments.cpi_stack(spec)))
+        section("provenance", lambda: reporting.render_provenance(
+            experiments.provenance(spec)))
 
     report = ("\n\n" + "=" * 78 + "\n\n").join(sections)
     print()
     print(report)
     if args.out:
+        _ensure_parent(args.out)
         with open(args.out, "w") as f:
             f.write(report + "\n")
         print(f"\nreport written to {args.out}")
@@ -176,13 +198,46 @@ def main() -> int:
                           for k, v in shown.items()))
         buf = obs.trace()
         if args.obs_out:
+            _ensure_parent(args.obs_out)
             records = buf.export_jsonl(
                 args.obs_out, header={"kind": "metrics", "metrics": snapshot}
             )
             print(f"[obs ] {records} trace records written to {args.obs_out}"
                   + (f" ({buf.dropped} older events dropped from the ring)"
                      if buf.dropped else ""))
+        if args.timeline:
+            export_timeline(args.timeline, args.timeline_format, spec)
     return 0
+
+
+def _ensure_parent(path: str) -> None:
+    """Create the parent directory of an output path when it is missing
+    (so `--out sub/dir/report.txt` works on a fresh checkout)."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+
+
+def export_timeline(path: str, fmt: str, spec: RunSpec) -> None:
+    """One short traced run (BeBoP on EOLE_4_60, first workload of the
+    run's suite) recorded per-µop and exported to ``path``."""
+    from repro.eval.runner import get_trace, make_bebop_engine, run_bebop_eole
+    from repro.obs import TimelineRecorder
+
+    workload = spec.names()[0]
+    trace = get_trace(workload, spec.uops)
+    rec = TimelineRecorder()
+    run_bebop_eole(trace, make_bebop_engine(), spec.warmup, recorder=rec)
+    _ensure_parent(path)
+    if fmt == "konata":
+        lines = rec.export_konata(path)
+        print(f"[obs ] {lines} Konata log lines ({workload}, "
+              f"{rec.recorded} µops) written to {path}")
+    else:
+        events = rec.export_chrome(path)
+        print(f"[obs ] {events} Chrome trace events ({workload}, "
+              f"{rec.recorded} µops, {len(rec.squashes)} squashes) "
+              f"written to {path}; open in https://ui.perfetto.dev")
 
 
 if __name__ == "__main__":

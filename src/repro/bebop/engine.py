@@ -20,6 +20,7 @@ import heapq
 from collections import deque
 
 import repro.obs as obs
+from repro.obs.timeline import Provenance, provider_label
 from repro.isa.instruction import DynMicroOp
 from repro.predictors.base import HistoryState
 from repro.bebop.attribution import attribute_predictions
@@ -58,6 +59,7 @@ class BeBoPEngine:
         # `_m_on` gates the per-fetch observations so a disabled registry
         # costs one attribute check per prediction block.
         reg = obs.registry()
+        self._reg = reg
         self._m_on = reg.enabled
         self._m_window_uses = reg.counter("bebop/spec_window/uses")
         self._m_cold_blocks = reg.counter("bebop/spec_window/cold_blocks")
@@ -65,6 +67,24 @@ class BeBoPEngine:
         self._m_uq_depth = reg.histogram("bebop/update_queue/depth")
         self._m_attr_requests = reg.counter("bebop/attribution/requests")
         self._m_attr_misses = reg.counter("bebop/attribution/misses")
+        # Lazily created `bebop/provider/<name>/predictions` counters, one
+        # per D-VTAGE component that ever provided an attributed prediction.
+        self._m_providers: dict[int, object] = {}
+        self._prov = False        # fill GroupHandle.prov for the recorder
+
+    def set_provenance(self, enabled: bool) -> None:
+        """Toggle provenance collection (called by the pipeline when a
+        :class:`~repro.obs.timeline.TimelineRecorder` rides the run)."""
+        self._prov = enabled
+
+    def _provider_counter(self, provider: int):
+        m = self._m_providers.get(provider)
+        if m is None:
+            m = self._reg.counter(
+                f"bebop/provider/{provider_label(provider)}/predictions"
+            )
+            self._m_providers[provider] = m
+        return m
 
     # -- training application -------------------------------------------------
 
@@ -98,18 +118,23 @@ class BeBoPEngine:
         block_pc = uops[0].block_pc
         first_seq = uops[0].seq
         readout = self.predictor.read(block_pc, hist)
-        spec_values = self.window.lookup(block_pc)
+        spec_entry = self.window.lookup_entry(block_pc)
+        spec_values = spec_entry.values if spec_entry is not None else None
+        spec_seq = spec_entry.seq if spec_entry is not None else None
         if spec_values is not None:
             self.spec_window_uses += 1
             last_values = spec_values
             usable = True
+            source = "spec_window"
         elif readout.lvt_hit:
             last_values = readout.lvt_last
             usable = True
+            source = "lvt"
         else:
             last_values = readout.lvt_last  # zeros; entry is cold
             usable = False
             self.cold_blocks += 1
+            source = "cold"
         if self._m_on:
             # Occupancy sampled before this block's insert: what the
             # hardware's associative probe actually searched.
@@ -124,8 +149,11 @@ class BeBoPEngine:
         pending = PendingBlock(first_seq, block_pc, hist, readout, values)
         pending.use_masked = mask_use
         self.fifo.push(pending)
-        preds = self._attribute(uops, readout, values, usable and not mask_use)
-        return GroupHandle(preds, hist, ctx=pending)
+        preds, provs = self._attribute(
+            uops, readout, values, usable and not mask_use,
+            source=source, spec_seq=spec_seq,
+        )
+        return GroupHandle(preds, hist, ctx=pending, prov=provs)
 
     def _attribute(
         self,
@@ -133,27 +161,58 @@ class BeBoPEngine:
         readout: BlockReadout,
         values: list[int],
         usable: bool,
-    ) -> list[PredUse | None]:
+        source: str = "lvt",
+        spec_seq: int | None = None,
+    ) -> tuple[list[PredUse | None], list[Provenance | None] | None]:
         eligible = [
             (pos, uop) for pos, uop in enumerate(uops) if uop.is_vp_eligible
         ]
         slots = attribute_predictions(
             readout.byte_tags, [uop.boundary for _pos, uop in eligible]
         )
+        n_matched = sum(1 for slot in slots if slot is not None)
         if self._m_on and eligible:
             # An attribution miss: a VP-eligible µ-op whose byte boundary
             # matched no prediction slot (§V-B's tag-mismatch case).
             self._m_attr_requests.inc(len(eligible))
-            missed = sum(1 for slot in slots if slot is None)
+            missed = len(eligible) - n_matched
             if missed:
                 self._m_attr_misses.inc(missed)
+            if n_matched:
+                self._provider_counter(readout.provider).inc(n_matched)
         preds: list[PredUse | None] = [None] * len(uops)
+        provs: list[Provenance | None] | None = (
+            [None] * len(uops) if self._prov else None
+        )
+        policy = self.policy.value if provs is not None else ""
         for (pos, _uop), slot in zip(eligible, slots):
             if slot is None:
+                if provs is not None:
+                    # Attribution miss: record it so the timeline can show
+                    # which eligible µ-ops the block tags failed to cover.
+                    provs[pos] = Provenance(
+                        provider=readout.provider,
+                        source=source,
+                        spec_seq=spec_seq,
+                        tag_match=False,
+                        policy=policy,
+                        verdict="no_prediction",
+                    )
                 continue
             confident = usable and self.predictor.is_confident(readout, slot)
             preds[pos] = PredUse(values[slot], confident, slot=slot)
-        return preds
+            if provs is not None:
+                provs[pos] = Provenance(
+                    provider=readout.provider,
+                    conf=readout.conf[slot],
+                    source=source,
+                    spec_seq=spec_seq,
+                    slot=slot,
+                    value=values[slot],
+                    confident=confident,
+                    policy=policy,
+                )
+        return preds, provs
 
     def fetch_group(
         self,
@@ -174,8 +233,10 @@ class BeBoPEngine:
         if mask_use:
             pending.use_masked = True
         usable = not mask_use
-        preds = self._attribute(uops, pending.readout, pending.values, usable)
-        return GroupHandle(preds, hist, ctx=pending)
+        preds, provs = self._attribute(
+            uops, pending.readout, pending.values, usable, source="reuse"
+        )
+        return GroupHandle(preds, hist, ctx=pending, prov=provs)
 
     # -- commit -------------------------------------------------------------------
 

@@ -69,6 +69,14 @@ class SpeculativeWindow:
         picks the matching entry with the highest sequence number (Fig 4);
         entries are kept in insertion order here, so the last match wins.
         """
+        entry = self.lookup_entry(block_pc)
+        return entry.values if entry is not None else None
+
+    def lookup_entry(self, block_pc: int) -> _WindowEntry | None:
+        """Like :meth:`lookup` but returns the whole matching entry, so the
+        caller can also see *which* in-flight instance (``seq``) provided
+        the values — the timeline provenance needs it.  Counts one lookup
+        (and possibly one hit) exactly like :meth:`lookup`."""
         if not self.enabled:
             return None
         self.lookups += 1
@@ -76,7 +84,7 @@ class SpeculativeWindow:
         for entry in reversed(self._entries):
             if entry.tag == tag:
                 self.hits += 1
-                return entry.values
+                return entry
         return None
 
     def correct_entry(

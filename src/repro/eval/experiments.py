@@ -54,6 +54,7 @@ KNOWN_EXPERIMENTS = (
     "fig7b",
     "fig8",
     "cpi_stack",
+    "provenance",
 )
 
 #: Fig 5a predictor line-up, in the paper's legend order.
@@ -456,3 +457,55 @@ def cpi_stack(spec: RunSpec = RunSpec()) -> ExperimentResult:
         rows[name] = stacks
     return ExperimentResult("cpi_stack", rows, columns=CPI_STACK_CONFIGS,
                             spec=spec, meta=_meta_finish(start))
+
+
+# ---------------------------------------------------------------------------
+# Prediction provenance — which component predicted, from what last value,
+# and what each recovery policy's squashes cost (repro.obs.timeline).
+# ---------------------------------------------------------------------------
+
+#: Recovery policies whose squash costs the provenance experiment compares.
+PROVENANCE_POLICIES = (RecoveryPolicy.IDEAL, RecoveryPolicy.REPRED,
+                       RecoveryPolicy.DNRDNR, RecoveryPolicy.DNRR)
+
+
+def provenance(spec: RunSpec = RunSpec()) -> ExperimentResult:
+    """Prediction-provenance analytics per workload (BeBoP on EOLE_4_60).
+
+    Rows are ``{workload: {components, window, attribution, predictions,
+    squash_cost}}``: per-D-VTAGE-component prediction share and accuracy,
+    the speculative-window hit / LVT / cold breakdown of prediction
+    anchors, byte-tag attribution outcomes (all under the paper's default
+    DnRDnR policy), plus one squash-cost summary (count / mean / max and a
+    power-of-two histogram) per §IV-A recovery policy.  Like ``cpi_stack``
+    this runs in-process: the :class:`~repro.obs.TimelineRecorder` rides
+    along with the simulation and cannot cross the executor's process
+    boundary.
+    """
+    from repro.eval.runner import get_trace, make_bebop_engine, run_bebop_eole
+    from repro.obs import TimelineRecorder
+
+    start = _meta_start()
+    rows: dict[str, dict[str, object]] = {}
+    for name in spec.names():
+        trace = get_trace(name, spec.uops)
+        squash_cost: dict[str, dict] = {}
+        summary: dict = {}
+        for policy in PROVENANCE_POLICIES:
+            rec = TimelineRecorder()
+            run_bebop_eole(
+                trace, make_bebop_engine(policy=policy), spec.warmup,
+                recorder=rec,
+            )
+            squash_cost[policy.value] = rec.squash_cost_summary()
+            if policy is RecoveryPolicy.DNRDNR:
+                summary = rec.provenance_summary()
+        row: dict[str, object] = dict(summary)
+        row["squash_cost"] = squash_cost
+        rows[name] = row
+    return ExperimentResult(
+        "provenance", rows,
+        columns=("components", "window", "attribution", "predictions",
+                 "squash_cost"),
+        spec=spec, meta=_meta_finish(start),
+    )

@@ -125,6 +125,76 @@ def render_cpi_stack(results) -> str:
     return "\n".join(lines)
 
 
+def render_provenance(results) -> str:
+    """Prediction-provenance tables: per-component share/accuracy, the
+    speculative-window anchor breakdown, attribution outcomes, and one
+    squash-cost row per recovery policy.
+
+    ``results`` is the :func:`repro.eval.experiments.provenance` result
+    (any mapping of ``{workload: {components, window, attribution,
+    predictions, squash_cost}}``).
+    """
+    lines = ["Prediction provenance (BeBoP on EOLE_4_60, DnRDnR)", ""]
+    header = (
+        f"{'workload':12s}{'provider':>10s}{'preds':>9s}{'used':>9s}"
+        f"{'share':>8s}{'accuracy':>10s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for workload, row in results.items():
+        components = row["components"]
+        first = True
+        for provider in sorted(components):
+            c = components[provider]
+            name_col = workload if first else ""
+            first = False
+            lines.append(
+                f"{name_col:12s}{provider:>10s}{c['predictions']:9d}"
+                f"{c['used']:9d}{c['share']:8.3f}{c['accuracy']:10.3f}"
+            )
+        if first:
+            lines.append(f"{workload:12s}{'-':>10s}")
+    lines.append("")
+    lines.append("Prediction anchors (spec window vs LVT vs cold) "
+                 "and attribution")
+    header = (
+        f"{'workload':12s}{'spec_window':>12s}{'lvt':>9s}{'cold':>9s}"
+        f"{'reuse':>9s}{'attr miss':>11s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for workload, row in results.items():
+        window = row["window"]
+        attribution = row["attribution"]
+        lines.append(
+            f"{workload:12s}{window.get('spec_window', 0):12d}"
+            f"{window.get('lvt', 0):9d}{window.get('cold', 0):9d}"
+            f"{window.get('reuse', 0):9d}{attribution['misses']:11d}"
+        )
+    lines.append("")
+    lines.append("Squash cost per recovery policy (cycles from result to "
+                 "refetch barrier)")
+    header = (
+        f"{'workload':12s}{'policy':>9s}{'count':>8s}{'mean':>8s}{'max':>7s}"
+        f"  histogram"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for workload, row in results.items():
+        first = True
+        for policy, cost in row["squash_cost"].items():
+            name_col = workload if first else ""
+            first = False
+            hist = " ".join(
+                f"{k}:{v}" for k, v in cost["histogram"].items()
+            )
+            lines.append(
+                f"{name_col:12s}{policy:>9s}{cost['count']:8d}"
+                f"{cost['mean']:8.2f}{cost['max']:7d}  {hist}"
+            )
+    return "\n".join(lines)
+
+
 def render_partial_strides(results: dict[int, dict[str, object]]) -> str:
     """§VI-B(a): stride width vs performance vs storage."""
     lines = ["Partial strides (§VI-B-a)", ""]

@@ -126,14 +126,20 @@ def run_baseline(
     trace: Trace,
     warmup: int = DEFAULT_WARMUP_UOPS,
     cpi=None,
+    recorder=None,
 ) -> SimStats:
     """Baseline_6_60: no value prediction.
 
     ``cpi`` (here and in the other runners) is an optional
     :class:`~repro.obs.CPIStackCollector` that receives the run's cycle
-    attribution; ``None`` keeps the model on its uninstrumented fast path.
+    attribution, ``recorder`` an optional
+    :class:`~repro.obs.TimelineRecorder` capturing per-µop stage timelines
+    and prediction provenance; ``None`` (the default for both) keeps the
+    model on its uninstrumented fast path.
     """
-    return PipelineModel(BASELINE_6_60).run(trace, warmup_uops=warmup, cpi=cpi)
+    return PipelineModel(BASELINE_6_60).run(
+        trace, warmup_uops=warmup, cpi=cpi, recorder=recorder
+    )
 
 
 def run_instr_vp(
@@ -141,10 +147,11 @@ def run_instr_vp(
     predictor: ValuePredictor,
     warmup: int = DEFAULT_WARMUP_UOPS,
     cpi=None,
+    recorder=None,
 ) -> SimStats:
     """Baseline_VP_6_60 with an instruction-based predictor."""
     model = PipelineModel(baseline_vp_6_60(), InstructionVPAdapter(predictor))
-    return model.run(trace, warmup_uops=warmup, cpi=cpi)
+    return model.run(trace, warmup_uops=warmup, cpi=cpi, recorder=recorder)
 
 
 def run_eole_instr_vp(
@@ -152,10 +159,11 @@ def run_eole_instr_vp(
     predictor: ValuePredictor,
     warmup: int = DEFAULT_WARMUP_UOPS,
     cpi=None,
+    recorder=None,
 ) -> SimStats:
     """EOLE_4_60 with an instruction-based predictor (Fig 5b)."""
     model = PipelineModel(eole_4_60(), InstructionVPAdapter(predictor))
-    return model.run(trace, warmup_uops=warmup, cpi=cpi)
+    return model.run(trace, warmup_uops=warmup, cpi=cpi, recorder=recorder)
 
 
 def run_bebop_eole(
@@ -163,7 +171,8 @@ def run_bebop_eole(
     engine: BeBoPEngine,
     warmup: int = DEFAULT_WARMUP_UOPS,
     cpi=None,
+    recorder=None,
 ) -> SimStats:
     """EOLE_4_60 with block-based (BeBoP) value prediction."""
     model = PipelineModel(eole_4_60(), engine)
-    return model.run(trace, warmup_uops=warmup, cpi=cpi)
+    return model.run(trace, warmup_uops=warmup, cpi=cpi, recorder=recorder)

@@ -35,6 +35,14 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.timeline import (
+    TIMELINE_FORMATS,
+    TIMELINE_STAGES,
+    Provenance,
+    SquashEvent,
+    TimelineRecorder,
+    UopTimeline,
+)
 from repro.obs.trace import TraceBuffer
 
 _registry = MetricsRegistry(enabled=False)
@@ -120,7 +128,13 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_METRIC",
+    "Provenance",
+    "SquashEvent",
+    "TIMELINE_FORMATS",
+    "TIMELINE_STAGES",
+    "TimelineRecorder",
     "TraceBuffer",
+    "UopTimeline",
     "counter",
     "disable",
     "enable",

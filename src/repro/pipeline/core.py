@@ -114,6 +114,7 @@ class PipelineModel:
         warmup_uops: int = 0,
         timeline: list | None = None,
         cpi: "CPIStackCollector | None" = None,
+        recorder: "TimelineRecorder | None" = None,
     ) -> SimStats:
         """Simulate a trace; statistics cover µ-ops after ``warmup_uops``.
 
@@ -125,12 +126,29 @@ class PipelineModel:
         advance of the commit front over the measured window is attributed
         to a cause (see :mod:`repro.obs.cpi`); the collector is passive, so
         the returned stats are bit-identical with and without it.
+
+        When ``recorder`` is a :class:`repro.obs.TimelineRecorder`, every
+        processed µ-op (warmup and re-fetched instances included) gets a
+        full per-stage timeline plus, for value-predicted µ-ops, a
+        provenance record filled in by the VP adapter and finalised here at
+        commit (see :mod:`repro.obs.timeline`).  Also passive: stats are
+        bit-identical with and without it.
         """
         cfg = self.config
         uops = trace.uops
         stats = SimStats(workload=trace.name, config=cfg.name)
         if not uops:
             return stats
+
+        # Per-µop timeline tracing (see repro.obs.timeline).  `rec` gates
+        # every site like `track` does; adapters that can attribute
+        # predictions to their producing component opt in via the
+        # set_provenance hook and fill GroupHandle.prov at fetch.
+        rec = recorder
+        if self.vp is not None:
+            set_prov = getattr(self.vp, "set_provenance", None)
+            if set_prov is not None:
+                set_prov(rec is not None)
 
         groups = group_block_instances(uops)
         # --- machine state ---------------------------------------------------
@@ -238,6 +256,9 @@ class PipelineModel:
                 fetch_cycle += 1
                 blocks_in_cycle = 0
                 taken_in_cycle = 0
+            if rec is not None:
+                # Fetch start of the block, before any I-cache stall.
+                block_fetch = fetch_cycle
             ifetch_lat = self.memory.ifetch_latency(block_pc)
             block_avail = fetch_cycle + ifetch_lat - 1
             blocks_in_cycle += 1
@@ -522,6 +543,11 @@ class PipelineModel:
                     if mispredicted_branch:
                         if measuring:
                             stats.branch_mispredicts += 1
+                        if rec is not None:
+                            rec.instant(
+                                "branch_redirect", complete + 1,
+                                seq=uop.seq, pc=uop.pc,
+                            )
                         if complete + 1 > next_fetch_min:
                             next_fetch_min = complete + 1
                             redirect_cause = "branch_redirect"
@@ -537,6 +563,36 @@ class PipelineModel:
 
                 if timeline is not None:
                     timeline.append((uop.seq, uop.pc, d, complete, cc))
+                if rec is not None:
+                    prov = (
+                        handle.prov[k]
+                        if handle is not None and handle.prov is not None
+                        else None
+                    )
+                    if prov is not None:
+                        prov.used = predicted_used
+                        # Final verdict; the recorder keeps the reference,
+                        # so exports after the run see it.
+                        if not prov.tag_match:
+                            pass            # stays "no_prediction"
+                        elif uop.value is None:
+                            prov.verdict = "unknown"
+                        elif pred.value == uop.value:
+                            prov.verdict = (
+                                "correct" if predicted_used
+                                else "correct_unused"
+                            )
+                        else:
+                            prov.verdict = (
+                                "squash" if predicted_used
+                                else "incorrect_unused"
+                            )
+                    rec.record_uop(
+                        uop.seq, uop.pc, block_pc,
+                        block_fetch, block_avail, d,
+                        d if bypass_ooo else c2,
+                        complete, cc, prov,
+                    )
 
                 # ---- VP validation at commit -----------------------------------
                 if handle is not None:
@@ -555,6 +611,14 @@ class PipelineModel:
                         # Commit-time squash: everything younger refetches.
                         if measuring:
                             stats.vp_squashes += 1
+                        if rec is not None:
+                            # Cost = result computed → refetch barrier: the
+                            # latency of detecting the misprediction at
+                            # commit rather than repairing at execute.
+                            rec.squash(
+                                uop.seq, uop.pc, cc, cc + 1 - complete,
+                                prov.policy if prov is not None else "",
+                            )
                         reg_avail[uop.dest] = cc
                         if track:
                             reg_cause[uop.dest] = "vp_squash"

@@ -21,6 +21,7 @@ from collections import deque
 from typing import Protocol
 
 from repro.isa.instruction import DynMicroOp
+from repro.obs.timeline import Provenance
 from repro.predictors.base import HistoryState, Prediction, ValuePredictor
 
 
@@ -41,17 +42,19 @@ class PredUse:
 class GroupHandle:
     """Prediction context of one fetched block instance."""
 
-    __slots__ = ("preds", "hist", "ctx")
+    __slots__ = ("preds", "hist", "ctx", "prov")
 
     def __init__(
         self,
         preds: list[PredUse | None],
         hist: HistoryState,
         ctx: object = None,
+        prov: list[Provenance | None] | None = None,
     ) -> None:
         self.preds = preds        # parallel to the group's µ-ops
         self.hist = hist
         self.ctx = ctx            # adapter-private (e.g. the pending block)
+        self.prov = prov          # timeline provenance, parallel to preds
 
 
 class VPAdapter(Protocol):
@@ -102,11 +105,17 @@ class InstructionVPAdapter:
 
     def __init__(self, predictor: ValuePredictor) -> None:
         self.predictor = predictor
+        self._prov = False        # fill GroupHandle.prov for the recorder
         # (apply_cycle, pc, uop_index, hist, actual, prediction) in commit
         # order; applied lazily before later predictions.
         self._deferred: deque[
             tuple[int, int, int, HistoryState, int, Prediction | None]
         ] = deque()
+
+    def set_provenance(self, enabled: bool) -> None:
+        """Toggle provenance collection (called by the pipeline when a
+        :class:`~repro.obs.timeline.TimelineRecorder` rides the run)."""
+        self._prov = enabled
 
     def _apply_until(self, cycle: int) -> None:
         q = self._deferred
@@ -128,16 +137,29 @@ class InstructionVPAdapter:
     ) -> GroupHandle:
         self._apply_until(cycle)
         preds: list[PredUse | None] = []
+        provs: list[Provenance | None] | None = [] if self._prov else None
         for uop in uops:
             if not uop.is_vp_eligible:
                 preds.append(None)
+                if provs is not None:
+                    provs.append(None)
                 continue
             p = self.predictor.predict(uop.pc, uop.uop_index, hist)
             if p is None:
                 preds.append(None)
+                if provs is not None:
+                    provs.append(None)
             else:
                 preds.append(PredUse(p.value, p.confident, meta=p))
-        return GroupHandle(preds, hist)
+                if provs is not None:
+                    provs.append(Provenance(
+                        provider=p.provider,
+                        conf=p.conf,
+                        source="inst",
+                        value=p.value,
+                        confident=p.confident,
+                    ))
+        return GroupHandle(preds, hist, prov=provs)
 
     def result_uop(
         self, handle: GroupHandle, pos: int, uop: DynMicroOp, complete_cycle: int

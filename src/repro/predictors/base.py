@@ -42,21 +42,25 @@ class Prediction:
 
     ``provider`` identifies the component that produced the value (predictor
     specific; VTAGE-family uses 0 for the base component and ``i + 1`` for
-    tagged component ``i``).  ``meta`` is opaque to the pipeline.
+    tagged component ``i``) and ``conf`` is that provider's confidence
+    counter at predict time (0 for predictors without one) — both feed the
+    timeline provenance records.  ``meta`` is opaque to the pipeline.
     """
 
-    __slots__ = ("value", "confident", "provider", "meta")
+    __slots__ = ("value", "confident", "provider", "conf", "meta")
 
     def __init__(
         self,
         value: int,
         confident: bool,
         provider: int = 0,
+        conf: int = 0,
         meta: object = None,
     ) -> None:
         self.value = value
         self.confident = confident
         self.provider = provider
+        self.conf = conf
         self.meta = meta
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -215,6 +215,7 @@ class DVTAGEPredictor(ValuePredictor):
             value,
             self.fpc.is_confident(entry.conf),
             provider=provider,
+            conf=entry.conf,
             meta=_TrainMeta(provider, index, tag, alt_stride, lvt.last, entry.conf),
         )
 

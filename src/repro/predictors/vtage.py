@@ -164,12 +164,14 @@ class VTAGEPredictor(ValuePredictor):
                 entry.value,
                 self.fpc.is_confident(entry.conf),
                 provider=comp + 1,
+                conf=entry.conf,
                 meta=_TrainMeta(comp + 1, index, tag, alt_value),
             )
         return Prediction(
             base.value,
             self.fpc.is_confident(base.conf),
             provider=0,
+            conf=base.conf,
             meta=_TrainMeta(0, table_index(key, self.base_index_bits), 0, base.value),
         )
 

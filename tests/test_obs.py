@@ -207,6 +207,49 @@ class TestTraceBuffer:
         assert records[0] == {"kind": "metrics", "m": 3}
         assert records[1]["n"] == 1
 
+    def test_overflow_evicts_oldest_first_exactly(self):
+        """The ring keeps the newest ``capacity`` events in emit order; the
+        eviction front never reorders survivors."""
+        buf = TraceBuffer(capacity=3)
+        for i in range(7):
+            buf.emit("e", i=i)
+            kept = [e["i"] for e in buf.events()]
+            assert kept == list(range(max(0, i - 2), i + 1))
+        assert buf.dropped == 4
+        assert buf.emitted == 7
+
+    def test_dropped_counter_survives_further_reads(self):
+        buf = TraceBuffer(capacity=2)
+        for i in range(5):
+            buf.emit("e", i=i)
+        assert buf.dropped == 3
+        buf.events()       # reading must not consume or reset anything
+        assert buf.dropped == 3
+        buf.clear()
+        assert buf.dropped == 0 and buf.emitted == 0
+
+    def test_export_after_overflow_writes_survivors_plus_header(self, tmp_path):
+        """Header round-trip under overflow: the file holds the header plus
+        exactly the surviving (newest) events, oldest first."""
+        buf = TraceBuffer(capacity=4)
+        for i in range(9):
+            buf.emit("e", i=i)
+        path = tmp_path / "overflow.jsonl"
+        header = {"kind": "metrics", "dropped": buf.dropped}
+        written = buf.export_jsonl(path, header=header)
+        records = [json.loads(l) for l in path.read_text().splitlines()]
+        assert written == len(records) == 5
+        assert records[0] == {"kind": "metrics", "dropped": 5}
+        assert [r["i"] for r in records[1:]] == [5, 6, 7, 8]
+
+    def test_export_without_header_has_no_header_record(self, tmp_path):
+        buf = TraceBuffer(capacity=4)
+        buf.emit("a", i=0)
+        path = tmp_path / "plain.jsonl"
+        assert buf.export_jsonl(path) == 1
+        (record,) = [json.loads(l) for l in path.read_text().splitlines()]
+        assert record["kind"] == "a"
+
 
 # ---------------------------------------------------------------------------
 # Module-level current registry/trace + scoping.

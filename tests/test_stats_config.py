@@ -87,3 +87,32 @@ class TestCoreConfig:
     def test_frozen(self):
         with pytest.raises(Exception):
             BASELINE_6_60.issue_width = 1  # type: ignore[misc]
+
+
+class TestExtraIsTestOnly:
+    def test_no_production_code_reads_simstats_extra(self):
+        """``SimStats.extra`` is a deprecated read-through view kept for
+        test compatibility only: no production module under ``src/repro``
+        may reference it (grep-style, so a reintroduction fails loudly
+        rather than deprecation-warning quietly)."""
+        import re
+        from pathlib import Path
+
+        import repro
+
+        src_root = Path(repro.__file__).resolve().parent
+        pattern = re.compile(r"\.extra\b")
+        offenders = []
+        for path in sorted(src_root.rglob("*.py")):
+            rel = path.relative_to(src_root).as_posix()
+            if rel == "pipeline/stats.py":
+                continue  # the definition of the deprecated view itself
+            for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                if pattern.search(line):
+                    offenders.append(f"{rel}:{lineno}: {line.strip()}")
+        assert not offenders, (
+            "production code must not read SimStats.extra:\n"
+            + "\n".join(offenders)
+        )
