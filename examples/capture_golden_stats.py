@@ -1,0 +1,79 @@
+"""Regenerate ``tests/data/golden_stats.json``.
+
+The golden file pins the full :class:`SimStats` of nine representative
+configurations so ``tests/test_golden_identity.py`` can enforce that
+performance work on the simulator inner loop stays bit-identical.  Only
+rerun this after an *intentional* model change — and explain the shift in
+the commit message.
+
+Usage::
+
+    PYTHONPATH=src python examples/capture_golden_stats.py
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.eval.runner import (
+    get_trace,
+    make_bebop_engine,
+    make_instr_predictor,
+    run_baseline,
+    run_bebop_eole,
+    run_eole_instr_vp,
+    run_instr_vp,
+)
+from repro.predictors.perpath import PerPathStridePredictor
+
+UOPS = 24_000
+WARMUP = 8_000
+
+#: config name -> callable(trace) producing SimStats.
+CONFIGS = {
+    "baseline": lambda t: run_baseline(t, WARMUP),
+    "dvtage": lambda t: run_instr_vp(t, make_instr_predictor("d-vtage"), WARMUP),
+    "vtage": lambda t: run_instr_vp(t, make_instr_predictor("vtage"), WARMUP),
+    "hybrid": lambda t: run_instr_vp(
+        t, make_instr_predictor("vtage-2d-stride"), WARMUP
+    ),
+    "perpath": lambda t: run_instr_vp(t, PerPathStridePredictor(), WARMUP),
+    "eole-dvtage": lambda t: run_eole_instr_vp(
+        t, make_instr_predictor("d-vtage"), WARMUP
+    ),
+    "eole-bebop": lambda t: run_bebop_eole(t, make_bebop_engine(), WARMUP),
+}
+
+#: The nine golden (workload, config) points: every VP organisation at least
+#: once, two workload behaviour classes (control-dependent gcc, strided swim).
+RUNS = (
+    "gcc/baseline",
+    "gcc/dvtage",
+    "gcc/vtage",
+    "gcc/perpath",
+    "gcc/eole-dvtage",
+    "gcc/eole-bebop",
+    "swim/dvtage",
+    "swim/hybrid",
+    "swim/eole-bebop",
+)
+
+
+def main() -> None:
+    out = Path(__file__).resolve().parent.parent / "tests" / "data" / "golden_stats.json"
+    runs = {}
+    for key in RUNS:
+        workload, config = key.split("/")
+        trace = get_trace(workload, UOPS)
+        runs[key] = dataclasses.asdict(CONFIGS[config](trace))
+        print(f"captured {key}")
+    doc = {"uops": UOPS, "warmup": WARMUP, "runs": runs}
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {len(runs)} golden runs -> {out}")
+
+
+if __name__ == "__main__":
+    main()

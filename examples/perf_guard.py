@@ -1,0 +1,110 @@
+"""CI perf guard: diff a fresh bench run against the committed trajectory.
+
+Compares the ``wall_seconds`` of a freshly generated ``BENCH_timeline.json``
+against the committed one and fails (exit 1) when any shared experiment got
+more than ``--max-regression`` slower in simulated-work-per-second terms
+(wall seconds are inversely proportional to µops/sec for a fixed workload,
+so a 25% throughput regression is a 1.333x wall-time blowup).
+
+Wall-clock comparisons are only meaningful on the host that produced the
+baseline: when the recorded host metadata (platform / machine / python)
+differs between the two files, the guard *skips* with exit 0 — a fork or a
+differently provisioned runner should not fail CI on hardware it never saw.
+
+Usage (what the ``perf-guard`` CI job runs)::
+
+    PYTHONPATH=src REPRO_BENCH_TIMELINE=fresh_timeline.json \
+        python -m pytest benchmarks/test_bench_core_throughput.py -q
+    python examples/perf_guard.py --fresh fresh_timeline.json
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: >25% µops/sec regression == wall time above 1/0.75 of the baseline.
+DEFAULT_MAX_REGRESSION = 0.25
+
+#: Host fields that must match for wall-clock numbers to be comparable.
+HOST_KEYS = ("platform", "machine", "python")
+
+
+def load(path: Path) -> dict:
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != 1:
+        sys.exit(f"{path}: unsupported BENCH_timeline schema {doc.get('schema')!r}")
+    return doc
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=_REPO_ROOT / "BENCH_timeline.json",
+        help="committed trajectory (default: repo-root BENCH_timeline.json)",
+    )
+    parser.add_argument(
+        "--fresh", type=Path, required=True, help="timeline of the fresh bench run"
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        help="max tolerated fractional µops/sec regression (default 0.25)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+
+    mismatched = [
+        k
+        for k in HOST_KEYS
+        if baseline.get("host", {}).get(k) != fresh.get("host", {}).get(k)
+    ]
+    if mismatched:
+        for key in mismatched:
+            print(
+                f"host {key!r} differs: baseline="
+                f"{baseline.get('host', {}).get(key)!r} "
+                f"fresh={fresh.get('host', {}).get(key)!r}"
+            )
+        print("perf guard SKIPPED: wall-clock baseline is from a different host")
+        return 0
+
+    shared = sorted(set(baseline["wall_seconds"]) & set(fresh["wall_seconds"]))
+    if not shared:
+        print("perf guard SKIPPED: no shared experiments between the timelines")
+        return 0
+
+    max_slowdown = 1.0 / (1.0 - args.max_regression)
+    failures = []
+    for key in shared:
+        base_wall = baseline["wall_seconds"][key]
+        fresh_wall = fresh["wall_seconds"][key]
+        ratio = fresh_wall / base_wall
+        verdict = "FAIL" if ratio > max_slowdown else "ok"
+        print(
+            f"{verdict:4s} {key}: {base_wall:.2f}s -> {fresh_wall:.2f}s "
+            f"({ratio:.2f}x wall, limit {max_slowdown:.2f}x)"
+        )
+        if ratio > max_slowdown:
+            failures.append(key)
+
+    if failures:
+        print(
+            f"perf guard FAILED: {len(failures)}/{len(shared)} experiment(s) "
+            f"regressed more than {args.max_regression:.0%} in µops/sec"
+        )
+        return 1
+    print(f"perf guard OK: {len(shared)} experiment(s) within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

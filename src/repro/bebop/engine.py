@@ -77,6 +77,11 @@ class BeBoPEngine:
         :class:`~repro.obs.timeline.TimelineRecorder` rides the run)."""
         self._prov = enabled
 
+    def fold_geometry(
+        self,
+    ) -> tuple[tuple[tuple[int, int], ...], tuple[tuple[int, int], ...]]:
+        return self.predictor.fold_geometry()
+
     def _provider_counter(self, provider: int):
         m = self._m_providers.get(provider)
         if m is None:

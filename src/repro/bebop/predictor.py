@@ -79,13 +79,16 @@ class _LVTEntry:
 class _StrideEntry:
     """VT0 or tagged-component entry: npred strides + FPC levels."""
 
-    __slots__ = ("tag", "strides", "conf", "useful")
+    __slots__ = ("tag", "strides", "conf", "useful", "useful_gen")
 
     def __init__(self, npred: int) -> None:
         self.tag = -1
         self.strides = [0] * npred
         self.conf = [0] * npred
         self.useful = 0
+        # Generation the useful bit was last written in; a stale generation
+        # reads as useful == 0, making the periodic reset O(1).
+        self.useful_gen = 0
 
 
 class BlockReadout:
@@ -140,6 +143,17 @@ class BlockDVTAGE:
         ]
         self._rng = XorShift64(seed)
         self._updates_since_reset = 0
+        self._useful_gen = 0
+
+    def fold_geometry(
+        self,
+    ) -> tuple[tuple[tuple[int, int], ...], tuple[tuple[int, int], ...]]:
+        """(idx_pairs, tag_pairs) for the pipeline's folded-history set."""
+        idx = tuple(
+            (length, self.tagged_index_bits) for length in self.history_lengths
+        )
+        tag = tuple(zip(self.history_lengths, self.tag_bits))
+        return idx, tag
 
     # -- indexing ------------------------------------------------------------
 
@@ -310,8 +324,10 @@ class BlockDVTAGE:
         if provider_entry is not None and readout.provider > 0:
             if any_wrong:
                 provider_entry.useful = 0
+                provider_entry.useful_gen = self._useful_gen
             elif any_useful:
                 provider_entry.useful = 1
+                provider_entry.useful_gen = self._useful_gen
 
         lvt.tag = lvt_tag
         lvt.byte_tags = new_tags
@@ -332,21 +348,26 @@ class BlockDVTAGE:
         (§III-D-b): correct slots keep the provider's counters and strides,
         wrong slots get the observed stride with reset confidence."""
         c = self.config
+        gen = self._useful_gen
         candidates = []
         slots = []
         for comp in range(readout.provider, c.components):
             index, tag = self._component_slot(comp, key, readout.hist)
             slots.append((comp, index, tag))
-            if self._tagged[comp][index].useful == 0:
+            entry = self._tagged[comp][index]
+            if entry.useful == 0 or entry.useful_gen != gen:
                 candidates.append((comp, index, tag))
         if not candidates:
             for comp, index, _tag in slots:
-                self._tagged[comp][index].useful = 0
+                entry = self._tagged[comp][index]
+                entry.useful = 0
+                entry.useful_gen = gen
             return
         comp, index, tag = candidates[self._rng.next_below(len(candidates))]
         entry = self._tagged[comp][index]
         entry.tag = tag
         entry.useful = 0
+        entry.useful_gen = gen
         for m in range(c.npred):
             if m in correct_slots:
                 entry.strides[m] = readout.strides[m]
@@ -364,12 +385,12 @@ class BlockDVTAGE:
                 )
 
     def _tick_useful_reset(self) -> None:
+        # O(1) periodic reset: bumping the generation makes every entry's
+        # stale useful bit read as 0 without walking the tables.
         self._updates_since_reset += 1
         if self._updates_since_reset >= self.config.useful_reset_period:
             self._updates_since_reset = 0
-            for component in self._tagged:
-                for entry in component:
-                    entry.useful = 0
+            self._useful_gen += 1
 
     # -- reporting -------------------------------------------------------------
 

@@ -27,12 +27,15 @@ class _BimodalEntry:
 
 
 class _TaggedEntry:
-    __slots__ = ("tag", "ctr", "useful")
+    __slots__ = ("tag", "ctr", "useful", "useful_gen")
 
     def __init__(self) -> None:
         self.tag = -1
         self.ctr = 4  # 3-bit counter, weak
         self.useful = 0
+        # Generation the useful counter was last touched in; a stale
+        # generation reads as useful == 0 (O(1) periodic reset).
+        self.useful_gen = 0
 
 
 class _BranchMeta:
@@ -97,6 +100,17 @@ class TAGEBranchPredictor:
         self._use_alt_on_new_alloc = 8  # 4-bit counter centred at 8
         self._useful_reset_period = useful_reset_period
         self._updates = 0
+        self._useful_gen = 0
+
+    def fold_geometry(
+        self,
+    ) -> tuple[tuple[tuple[int, int], ...], tuple[tuple[int, int], ...]]:
+        """(idx_pairs, tag_pairs) for the pipeline's folded-history set."""
+        idx = tuple(
+            (length, self.tagged_index_bits) for length in self.history_lengths
+        )
+        tag = tuple(zip(self.history_lengths, self.tag_bits))
+        return idx, tag
 
     # -- lookups -----------------------------------------------------------
 
@@ -159,6 +173,9 @@ class TAGEBranchPredictor:
             provider_taken = entry.ctr >= 4
             provider_correct = provider_taken == taken
             entry.ctr = min(7, entry.ctr + 1) if taken else max(0, entry.ctr - 1)
+            if entry.useful_gen != self._useful_gen:
+                entry.useful = 0
+                entry.useful_gen = self._useful_gen
             if provider_correct and meta.alt_taken != provider_taken:
                 entry.useful = min(3, entry.useful + 1)
             elif not provider_correct:
@@ -178,14 +195,20 @@ class TAGEBranchPredictor:
         self._tick()
 
     def _allocate(self, pc: int, hist: HistoryState, provider: int, taken: bool) -> None:
+        gen = self._useful_gen
         candidates = []
         slots = []
         for comp in range(provider, self.components):
             index, tag = self._slot(comp, pc, hist)
             slots.append((comp, index, tag))
-            if self._tagged[comp][index].useful == 0:
+            entry = self._tagged[comp][index]
+            if entry.useful_gen != gen:
+                entry.useful = 0
+                entry.useful_gen = gen
+            if entry.useful == 0:
                 candidates.append((comp, index, tag))
         if not candidates:
+            # Every slot was normalized to the current generation above.
             for comp, index, _ in slots:
                 entry = self._tagged[comp][index]
                 entry.useful = max(0, entry.useful - 1)
@@ -201,14 +224,14 @@ class TAGEBranchPredictor:
         entry.tag = tag
         entry.ctr = 4 if taken else 3
         entry.useful = 0
+        entry.useful_gen = gen
 
     def _tick(self) -> None:
+        # O(1) periodic reset via the generation counter (no table walk).
         self._updates += 1
         if self._updates >= self._useful_reset_period:
             self._updates = 0
-            for component in self._tagged:
-                for entry in component:
-                    entry.useful = 0
+            self._useful_gen += 1
 
     # -- reporting ----------------------------------------------------------
 

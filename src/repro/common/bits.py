@@ -76,8 +76,9 @@ def fold_bits(value: int, input_bits: int, output_bits: int) -> int:
     if output_bits <= 0:
         return 0
     value &= mask(input_bits)
+    chunk = mask(output_bits)
     folded = 0
     while value:
-        folded ^= value & mask(output_bits)
+        folded ^= value & chunk
         value >>= output_bits
     return folded

@@ -3,9 +3,16 @@
 VTAGE and D-VTAGE index their partially tagged components with a hash of the
 PC, the global *branch outcome* history and the *path* history (low-order bits
 of recent branch targets).  TAGE hardware keeps, per component, circular
-"folded" registers that are updated incrementally in O(1) per branch; we model
-the histories directly as shift registers and fold on demand, which is
-behaviourally identical and simpler to checkpoint/restore on pipeline flushes.
+"folded" registers that are updated incrementally in O(1) per branch;
+:class:`FoldedHistorySet` models exactly that: one :class:`FoldedHistory`
+register per (history length, output width) pair a predictor's geometry
+needs, updated on every pushed bit and snapshotted into an immutable
+:class:`FoldedHistoryState` that the pipeline hands to every predict and
+commit-time train call.  The raw shift registers (:class:`GlobalHistory`)
+are kept alongside so on-demand folding stays available as the reference
+formulation — the two are mathematically identical (XOR-folding is linear
+in the history bits), which ``tests/test_history.py`` enforces over
+randomized push/snapshot/restore sequences.
 """
 
 from __future__ import annotations
@@ -74,7 +81,14 @@ class FoldedHistory:
     evicted bit, exactly as the hardware does.
     """
 
-    __slots__ = ("history_length", "output_bits", "_value", "_evict_pos")
+    __slots__ = (
+        "history_length",
+        "output_bits",
+        "_value",
+        "_evict_pos",
+        "_out_mask",
+        "_rot_shift",
+    )
 
     def __init__(self, history_length: int, output_bits: int) -> None:
         if output_bits <= 0:
@@ -82,8 +96,11 @@ class FoldedHistory:
         self.history_length = history_length
         self.output_bits = output_bits
         self._value = 0
-        # Position at which the bit leaving the history re-enters the fold.
+        # Position at which the bit leaving the history re-enters the fold
+        # (always < output_bits, so the eviction XOR stays in range).
         self._evict_pos = history_length % output_bits
+        self._out_mask = mask(output_bits)
+        self._rot_shift = output_bits - 1
 
     @property
     def value(self) -> int:
@@ -91,16 +108,240 @@ class FoldedHistory:
 
     def update(self, inserted_bit: int, evicted_bit: int) -> None:
         """Account for one bit entering and one leaving the history."""
-        out_mask = mask(self.output_bits)
-        # Circular left shift by one.
-        v = ((self._value << 1) | (self._value >> (self.output_bits - 1))) & out_mask
-        v ^= inserted_bit & 1
-        v ^= (evicted_bit & 1) << self._evict_pos
-        # The eviction XOR may land on bit ``output_bits`` when
-        # history_length is a multiple of output_bits; wrap it.
-        if self._evict_pos == self.output_bits:  # pragma: no cover - guarded by init
-            v ^= evicted_bit & 1
-        self._value = v & out_mask
+        # Circular left shift by one, then XOR the moving bits in; both XOR
+        # terms land below output_bits, so no final mask is needed.
+        v = ((self._value << 1) | (self._value >> self._rot_shift)) & self._out_mask
+        self._value = v ^ (inserted_bit & 1) ^ ((evicted_bit & 1) << self._evict_pos)
+
+    def snapshot(self) -> int:
+        return self._value
+
+    def restore(self, snapshot: int) -> None:
+        self._value = snapshot & mask(self.output_bits)
 
     def clear(self) -> None:
         self._value = 0
+
+
+class FoldedHistoryState:
+    """Immutable fetch-time snapshot of the histories plus their folds.
+
+    Attribute-compatible with :class:`repro.predictors.base.HistoryState`
+    (``branch``/``path`` raw register values) so it flows through the same
+    adapter plumbing, but additionally carries the precomputed
+    history-dependent halves of the TAGE index/tag hashes, keyed by
+    :func:`fold_key` of the (history length, output width) pair:
+
+    * ``idx_folds[fold_key(hist_length, index_bits)]`` — the XOR of the
+      folded branch history and the folded path history that
+      ``tagged_index`` mixes into the table index;
+    * ``tag_folds[fold_key(hist_length, tag_bits)]`` — the two-phase folded
+      branch history (``h ^ (h2 << 1)``) that ``tagged_tag`` mixes into the
+      tag.
+
+    ``tagged_index``/``tagged_tag`` consume these by key and fall back to
+    on-demand folding for geometries the owning :class:`FoldedHistorySet`
+    was not configured with, so the values must equal ``fold_bits`` of the
+    raw registers exactly — the set maintains them incrementally in O(1)
+    per pushed bit, which is bit-identical (test-enforced).
+    """
+
+    __slots__ = ("branch", "path", "idx_folds", "tag_folds")
+
+    def __init__(
+        self,
+        branch: int,
+        path: int,
+        idx_folds: dict[int, int],
+        tag_folds: dict[int, int],
+    ) -> None:
+        self.branch = branch
+        self.path = path
+        self.idx_folds = idx_folds
+        self.tag_folds = tag_folds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FoldedHistoryState(branch={self.branch:#x}, path={self.path:#x}, "
+            f"{len(self.idx_folds)} idx folds, {len(self.tag_folds)} tag folds)"
+        )
+
+
+#: Input width of the path-history fold in ``tagged_index`` (the hash uses at
+#: most the 16 most recent path bits regardless of the component's length).
+PATH_FOLD_BITS = 16
+
+#: Output widths must fit the packed :func:`fold_key` encoding.
+MAX_FOLD_WIDTH = 127
+
+
+def fold_key(hist_length: int, output_bits: int) -> int:
+    """Dictionary key of a fold in :class:`FoldedHistoryState`.
+
+    Packed into one int (``length * 128 + width``) because the hot lookup
+    path hits these dicts twice per tagged component per µ-op — an int key
+    hashes in O(1) C-level work and needs no per-lookup tuple allocation.
+    """
+    return (hist_length << 7) | output_bits
+
+
+class FoldedHistorySet:
+    """Incrementally maintained folded histories for a predictor geometry.
+
+    Owns the raw branch/path :class:`GlobalHistory` registers plus one
+    :class:`FoldedHistory` circular register per distinct fold a registered
+    geometry needs.  ``push_outcome``/``push_path`` update every register in
+    O(1) per bit (independent of the history lengths); ``state`` returns the
+    current :class:`FoldedHistoryState`, rebuilt lazily only after a push, so
+    consecutive snapshots between branches share one immutable object.
+    ``snapshot``/``restore`` checkpoint the whole set in O(registers) —
+    independent of history length — for squash recovery.
+
+    ``idx_pairs`` / ``tag_pairs`` are iterables of ``(history_length,
+    output_bits)`` as consumed by ``tagged_index`` / ``tagged_tag``.
+    """
+
+    __slots__ = (
+        "branch",
+        "path",
+        "_bregs",
+        "_pregs",
+        "_breg_items",
+        "_preg_items",
+        "_idx_specs",
+        "_tag_specs",
+        "_state",
+    )
+
+    def __init__(
+        self,
+        branch_capacity: int = 640,
+        path_capacity: int = 64,
+        idx_pairs: "tuple[tuple[int, int], ...] | set | list" = (),
+        tag_pairs: "tuple[tuple[int, int], ...] | set | list" = (),
+    ) -> None:
+        self.branch = GlobalHistory(branch_capacity)
+        self.path = GlobalHistory(path_capacity)
+        self._bregs: dict[tuple[int, int], FoldedHistory] = {}
+        self._pregs: dict[tuple[int, int], FoldedHistory] = {}
+        # (fold_key(length, width), branch_fold, path_fold) per index pair.
+        self._idx_specs: list[tuple[int, FoldedHistory, FoldedHistory]] = []
+        # (fold_key(length, width), fold_W, fold_W-1 or None) per tag pair.
+        self._tag_specs: list[tuple[int, FoldedHistory, FoldedHistory | None]] = []
+        for length, width in sorted(set(idx_pairs)):
+            if not 0 < width <= MAX_FOLD_WIDTH:
+                raise ValueError(f"fold width out of range: {width}")
+            b = self._branch_register(length, width)
+            p = self._path_register(min(length, PATH_FOLD_BITS), width)
+            self._idx_specs.append((fold_key(length, width), b, p))
+        for length, width in sorted(set(tag_pairs)):
+            if not 0 < width <= MAX_FOLD_WIDTH:
+                raise ValueError(f"fold width out of range: {width}")
+            f1 = self._branch_register(length, width)
+            f2 = self._branch_register(length, width - 1) if width > 1 else None
+            self._tag_specs.append((fold_key(length, width), f1, f2))
+        # Flat (evicted-bit position, register) lists for the push loops:
+        # the bit leaving a register's window is bit ``length - 1`` of the
+        # raw history *before* the push.
+        self._breg_items = [
+            (length - 1, reg) for (length, _w), reg in self._bregs.items()
+        ]
+        self._preg_items = [
+            (length - 1, reg) for (length, _w), reg in self._pregs.items()
+        ]
+        self._state: FoldedHistoryState | None = None
+
+    def _branch_register(self, length: int, width: int) -> FoldedHistory:
+        reg = self._bregs.get((length, width))
+        if reg is None:
+            reg = self._bregs[(length, width)] = FoldedHistory(length, width)
+        return reg
+
+    def _path_register(self, length: int, width: int) -> FoldedHistory:
+        reg = self._pregs.get((length, width))
+        if reg is None:
+            reg = self._pregs[(length, width)] = FoldedHistory(length, width)
+        return reg
+
+    # -- pushes --------------------------------------------------------------
+
+    def push_outcome(self, taken: bool) -> None:
+        """Shift one branch outcome bit in, updating every fold in O(1)."""
+        bit = 1 if taken else 0
+        bits = self.branch.value()
+        # Inlined FoldedHistory.update: this loop runs for every fold
+        # register on every conditional branch, so the per-register method
+        # call is worth avoiding.
+        for evict_src, reg in self._breg_items:
+            v = reg._value
+            v = ((v << 1) | (v >> reg._rot_shift)) & reg._out_mask
+            reg._value = v ^ bit ^ (((bits >> evict_src) & 1) << reg._evict_pos)
+        self.branch.push(bit, 1)
+        self._state = None
+
+    def push_path(self, target_pc: int, bits: int = 2) -> None:
+        """Shift low-order target-address bits in (path history)."""
+        pbits = self.path.value()
+        for i in range(bits - 1, -1, -1):
+            bit = (target_pc >> i) & 1
+            for evict_src, reg in self._preg_items:
+                v = reg._value
+                v = ((v << 1) | (v >> reg._rot_shift)) & reg._out_mask
+                reg._value = (
+                    v ^ bit ^ (((pbits >> evict_src) & 1) << reg._evict_pos)
+                )
+            pbits = (pbits << 1) | bit
+        self.path.push(target_pc, bits)
+        self._state = None
+
+    # -- snapshots -----------------------------------------------------------
+
+    def state(self) -> FoldedHistoryState:
+        """The current fold snapshot (cached until the next push)."""
+        s = self._state
+        if s is None:
+            idx = {key: b._value ^ p._value for key, b, p in self._idx_specs}
+            tag = {}
+            for key, f1, f2 in self._tag_specs:
+                v = f1._value
+                if f2 is not None:
+                    v ^= f2._value << 1
+                tag[key] = v
+            s = self._state = FoldedHistoryState(
+                self.branch.value(), self.path.value(), idx, tag
+            )
+        return s
+
+    def snapshot(self) -> tuple:
+        """O(registers) checkpoint of raw registers and every fold."""
+        return (
+            self.branch.snapshot(),
+            self.path.snapshot(),
+            tuple(reg.snapshot() for _l, reg in self._breg_items),
+            tuple(reg.snapshot() for _l, reg in self._preg_items),
+        )
+
+    def restore(self, snap: tuple) -> None:
+        branch, path, bvals, pvals = snap
+        self.branch.restore(branch)
+        self.path.restore(path)
+        for (_l, reg), v in zip(self._breg_items, bvals):
+            reg.restore(v)
+        for (_l, reg), v in zip(self._preg_items, pvals):
+            reg.restore(v)
+        self._state = None
+
+    def clear(self) -> None:
+        self.branch.clear()
+        self.path.clear()
+        for _l, reg in self._breg_items:
+            reg.clear()
+        for _l, reg in self._preg_items:
+            reg.clear()
+        self._state = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FoldedHistorySet({len(self._bregs)} branch / "
+            f"{len(self._pregs)} path fold registers)"
+        )

@@ -35,17 +35,16 @@ predictor never observes a result younger than the fetch being predicted.
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
+from collections import deque
 
 from repro.branch.btb import BranchTargetBuffer
 from repro.branch.tage import TAGEBranchPredictor
-from repro.common.history import GlobalHistory
+from repro.common.history import FoldedHistorySet
 from repro.isa.instruction import DynMicroOp, LatencyClass
 from repro.pipeline.caches import MemoryHierarchy
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.stats import SimStats
 from repro.pipeline.vp import GroupHandle, VPAdapter
-from repro.predictors.base import HistoryState
 from repro.workloads.trace import Trace
 
 #: Fixed execution latencies per FU class (loads come from the cache model).
@@ -63,6 +62,12 @@ _LATENCY = {
 
 #: Classes that EOLE's Early Execution stage can handle (single-cycle ALU).
 _EARLY_EXECUTABLE = frozenset({LatencyClass.ALU, LatencyClass.NONE})
+
+#: µ-ops between prunes of the per-cycle occupancy dicts.  Entries behind the
+#: monotone dispatch/commit fronts can never be probed again, so the prune is
+#: timing-neutral; the interval only trades prune overhead against the
+#: (bounded) amount of dead state carried between prunes.
+_PRUNE_INTERVAL = 4096
 
 
 def group_block_instances(uops: list[DynMicroOp]) -> list[tuple[int, int]]:
@@ -103,8 +108,25 @@ class PipelineModel:
         )
         self.btb = BranchTargetBuffer(config.btb_entries)
         self.memory = memory if memory is not None else MemoryHierarchy()
-        self.bhist = GlobalHistory(640)
-        self.phist = GlobalHistory(64)
+        # One folded-history register set shared by the branch predictor and
+        # the value predictor: every (history length, width) pair either will
+        # index with is registered up front so each pushed bit updates all
+        # folds in O(1) and fetch-time snapshots carry them precomputed.
+        idx_pairs: list[tuple[int, int]] = []
+        tag_pairs: list[tuple[int, int]] = []
+        for source in (self.branch_predictor, self.vp):
+            geometry = getattr(source, "fold_geometry", None)
+            if geometry is not None:
+                idx, tag = geometry()
+                idx_pairs.extend(idx)
+                tag_pairs.extend(tag)
+        self.hists = FoldedHistorySet(640, 64, idx_pairs, tag_pairs)
+        self.bhist = self.hists.branch
+        self.phist = self.hists.path
+        #: Peak summed size of the per-cycle occupancy dicts, sampled at
+        #: every prune during :meth:`run` (diagnostics only — never feeds
+        #: back into timing or :class:`SimStats`).
+        self.debug_state_peak = 0
 
     # -- the main walk -------------------------------------------------------
 
@@ -157,22 +179,34 @@ class PipelineModel:
         taken_in_cycle = 0
         next_fetch_min = 0
         last_dispatch = 0
-        dispatch_cnt: dict[int, int] = defaultdict(int)
-        issue_cnt: dict[int, int] = defaultdict(int)
-        fu_cnt: dict[tuple[int, LatencyClass], int] = defaultdict(int)
+        dispatch_cnt: dict[int, int] = {}
+        issue_cnt: dict[int, int] = {}
+        fu_cnt: dict[tuple[int, LatencyClass], int] = {}
         div_free = 0            # the single MulDiv unit, not pipelined for DIV
         fpdiv_free = 0          # FPMulDiv units, not pipelined for FPDIV
         last_commit = 0
-        commit_cnt: dict[int, int] = defaultdict(int)
-        rob_commits: list[int] = []     # commit cycle per dispatched µ-op
-        dispatch_cycles: list[int] = [] # dispatch cycle per µ-op (fetch-queue
-                                        # backpressure reads it FQ µ-ops back)
-        iq_issues: list[int] = []       # issue cycle per IQ-entering µ-op
-        lq_completes: list[int] = []
-        sq_completes: list[int] = []
+        commit_cnt: dict[int, int] = {}
+        # Per-µ-op event series are only ever read a fixed distance back
+        # (the structural occupancy bounds index exactly rob/fq/iq/lq/sq
+        # entries behind the append point), so fixed-size ring buffers
+        # replace the append-only lists; the counters stand in for the
+        # unbounded len().  Once a counter reaches the capacity, the old
+        # ``series[n - size]`` read is exactly ``ring[0]``.
+        rob_commits: deque[int] = deque(maxlen=cfg.rob_size)
+        dispatch_cycles: deque[int] = deque(maxlen=cfg.fetch_queue_uops)
+        iq_issues: deque[int] = deque(maxlen=cfg.iq_size)
+        lq_completes: deque[int] = deque(maxlen=cfg.lq_size)
+        sq_completes: deque[int] = deque(maxlen=cfg.sq_size)
+        rob_count = 0           # µ-ops committed-scheduled (old len(rob_commits))
+        fq_count = 0            # µ-ops dispatched (old len(dispatch_cycles))
+        iq_count = 0            # IQ-entering µ-ops (old len(iq_issues))
+        lq_count = 0
+        sq_count = 0
         reg_avail: dict[int, int] = {}
         store_ready: dict[int, int] = {}
         deferred_bp: deque = deque()    # (apply_cycle, pc, hist, taken, meta)
+        next_prune = _PRUNE_INTERVAL
+        state_peak = 0
 
         # FU issue-bandwidth pools per class.
         fu_pool = {
@@ -236,9 +270,8 @@ class PipelineModel:
             c = max(fetch_cycle, next_fetch_min)
             # Fetch-queue backpressure: this block's first µ-op can only be
             # fetched once the µ-op fetch_queue_uops earlier has dispatched.
-            n_before = len(dispatch_cycles)
-            if n_before >= cfg.fetch_queue_uops:
-                c = max(c, dispatch_cycles[n_before - cfg.fetch_queue_uops])
+            if fq_count >= cfg.fetch_queue_uops:
+                c = max(c, dispatch_cycles[0])
             if track:
                 # The block's fetch is redirect-bound when the fetch
                 # barrier is what it waited on; fetch-queue backpressure
@@ -270,7 +303,7 @@ class PipelineModel:
                 fe_cause = "icache"
 
             # ---- value prediction (block granularity) -----------------------
-            hist = HistoryState(self.bhist.value(), self.phist.value())
+            hist = self.hists.state()
             handle: GroupHandle | None = None
             if self.vp is not None:
                 handle = self.vp.fetch_group(guops, fetch_cycle, hist, reuse)
@@ -283,15 +316,15 @@ class PipelineModel:
 
                 # ---- dispatch ------------------------------------------------
                 d = max(block_avail + cfg.front_end_depth, last_dispatch)
-                while dispatch_cnt[d] >= cfg.decode_width:
+                while dispatch_cnt.get(d, 0) >= cfg.decode_width:
                     d += 1
-                n_disp = len(rob_commits)
-                if n_disp >= cfg.rob_size:
-                    d = max(d, rob_commits[n_disp - cfg.rob_size] + 1)
-                if uop.is_load and len(lq_completes) >= cfg.lq_size:
-                    d = max(d, lq_completes[len(lq_completes) - cfg.lq_size])
-                if uop.is_store and len(sq_completes) >= cfg.sq_size:
-                    d = max(d, sq_completes[len(sq_completes) - cfg.sq_size])
+                rob_full = rob_count >= cfg.rob_size
+                if rob_full:
+                    d = max(d, rob_commits[0] + 1)
+                if uop.is_load and lq_count >= cfg.lq_size:
+                    d = max(d, lq_completes[0])
+                if uop.is_store and sq_count >= cfg.sq_size:
+                    d = max(d, sq_completes[0])
 
                 srcs_ready = 0
                 for src in uop.srcs:
@@ -324,11 +357,11 @@ class PipelineModel:
                     eole_early = True
 
                 bypass_ooo = free_li or eole_early or eole_late
+                iq_full = iq_count >= cfg.iq_size
                 if not bypass_ooo:
-                    n_iq = len(iq_issues)
-                    if n_iq >= cfg.iq_size:
-                        d = max(d, iq_issues[n_iq - cfg.iq_size])
-                    while dispatch_cnt[d] >= cfg.decode_width:
+                    if iq_full:
+                        d = max(d, iq_issues[0])
+                    while dispatch_cnt.get(d, 0) >= cfg.decode_width:
                         d += 1
                 if track:
                     # Which constraint set the dispatch cycle?  The largest
@@ -339,25 +372,26 @@ class PipelineModel:
                     disp_cause = fe_cause
                     if last_dispatch > cand:
                         cand, disp_cause = last_dispatch, "base"
-                    if n_disp >= cfg.rob_size:
-                        t = rob_commits[n_disp - cfg.rob_size] + 1
+                    if rob_full:
+                        t = rob_commits[0] + 1
                         if t >= cand:
                             cand, disp_cause = t, "backend_full"
-                    if uop.is_load and len(lq_completes) >= cfg.lq_size:
-                        t = lq_completes[len(lq_completes) - cfg.lq_size]
+                    if uop.is_load and lq_count >= cfg.lq_size:
+                        t = lq_completes[0]
                         if t >= cand:
                             cand, disp_cause = t, "backend_full"
-                    if uop.is_store and len(sq_completes) >= cfg.sq_size:
-                        t = sq_completes[len(sq_completes) - cfg.sq_size]
+                    if uop.is_store and sq_count >= cfg.sq_size:
+                        t = sq_completes[0]
                         if t >= cand:
                             cand, disp_cause = t, "backend_full"
-                    if not bypass_ooo and len(iq_issues) >= cfg.iq_size:
-                        t = iq_issues[len(iq_issues) - cfg.iq_size]
+                    if not bypass_ooo and iq_full:
+                        t = iq_issues[0]
                         if t >= cand:
                             cand, disp_cause = t, "backend_full"
-                dispatch_cnt[d] += 1
+                dispatch_cnt[d] = dispatch_cnt.get(d, 0) + 1
                 last_dispatch = d
                 dispatch_cycles.append(d)
+                fq_count += 1
 
                 # ---- execute -------------------------------------------------
                 if free_li or eole_early:
@@ -380,24 +414,24 @@ class PipelineModel:
                     c2 = ready
                     if lat_class is LatencyClass.DIV:
                         c2 = max(c2, div_free)
-                        while issue_cnt[c2] >= cfg.issue_width:
+                        while issue_cnt.get(c2, 0) >= cfg.issue_width:
                             c2 += 1
                         lat = _LATENCY[lat_class]
                         div_free = c2 + lat
                     elif lat_class is LatencyClass.FPDIV:
                         c2 = max(c2, fpdiv_free)
-                        while issue_cnt[c2] >= cfg.issue_width:
+                        while issue_cnt.get(c2, 0) >= cfg.issue_width:
                             c2 += 1
                         lat = _LATENCY[lat_class]
                         fpdiv_free = c2 + lat
                     elif lat_class is LatencyClass.MEM:
                         ports = cfg.load_ports if uop.is_load else cfg.store_ports
                         while (
-                            issue_cnt[c2] >= cfg.issue_width
-                            or fu_cnt[(c2, lat_class)] >= ports
+                            issue_cnt.get(c2, 0) >= cfg.issue_width
+                            or fu_cnt.get((c2, lat_class), 0) >= ports
                         ):
                             c2 += 1
-                        fu_cnt[(c2, lat_class)] += 1
+                        fu_cnt[(c2, lat_class)] = fu_cnt.get((c2, lat_class), 0) + 1
                         if uop.is_load:
                             lat = self.memory.load_latency(uop.mem_addr or 0)
                         else:
@@ -405,14 +439,15 @@ class PipelineModel:
                     else:
                         pool = fu_pool[lat_class]
                         while (
-                            issue_cnt[c2] >= cfg.issue_width
-                            or fu_cnt[(c2, lat_class)] >= pool
+                            issue_cnt.get(c2, 0) >= cfg.issue_width
+                            or fu_cnt.get((c2, lat_class), 0) >= pool
                         ):
                             c2 += 1
-                        fu_cnt[(c2, lat_class)] += 1
+                        fu_cnt[(c2, lat_class)] = fu_cnt.get((c2, lat_class), 0) + 1
                         lat = _LATENCY[lat_class]
-                    issue_cnt[c2] += 1
+                    issue_cnt[c2] = issue_cnt.get(c2, 0) + 1
                     iq_issues.append(c2)
+                    iq_count += 1
                     complete = c2 + lat
 
                 if track:
@@ -478,8 +513,10 @@ class PipelineModel:
 
                 if uop.is_load:
                     lq_completes.append(complete)
+                    lq_count += 1
                 if uop.is_store:
                     sq_completes.append(complete)
+                    sq_count += 1
                     if uop.mem_addr is not None:
                         store_ready[uop.mem_addr] = complete
 
@@ -500,7 +537,7 @@ class PipelineModel:
                 if uop.is_branch:
                     if uop.is_cond_branch:
                         apply_deferred_bp(fetch_cycle)
-                        bp_hist = HistoryState(self.bhist.value(), self.phist.value())
+                        bp_hist = self.hists.state()
                         pred_taken, bmeta = self.branch_predictor.predict(
                             uop.pc, bp_hist
                         )
@@ -514,15 +551,15 @@ class PipelineModel:
                             btb_miss = True
                             self.btb.install(uop.pc, uop.branch_target)
                     if uop.is_cond_branch:
-                        self.bhist.push_outcome(uop.branch_taken)
+                        self.hists.push_outcome(uop.branch_taken)
                     if uop.branch_taken:
-                        self.phist.push_path(uop.branch_target)
+                        self.hists.push_path(uop.branch_target)
 
                 # ---- commit ----------------------------------------------------
                 cc = max(complete + cfg.back_end_depth, last_commit)
-                while commit_cnt[cc] >= cfg.commit_width:
+                while commit_cnt.get(cc, 0) >= cfg.commit_width:
                     cc += 1
-                commit_cnt[cc] += 1
+                commit_cnt[cc] = commit_cnt.get(cc, 0) + 1
                 if track and measuring and cc > last_commit:
                     # Commit-front advance: `stats.cycles` is exactly the
                     # sum of these deltas over the measured window, so
@@ -535,6 +572,7 @@ class PipelineModel:
                     )
                 last_commit = cc
                 rob_commits.append(cc)
+                rob_count += 1
 
                 if uop.is_cond_branch:
                     deferred_bp.append(
@@ -659,6 +697,43 @@ class PipelineModel:
             if handle is not None and not group_broken:
                 self.vp.finish_group(handle, last_commit)
 
+            # ---- occupancy-state prune --------------------------------------
+            # The dispatch and commit fronts are monotone and every probe of
+            # the occupancy dicts happens at or ahead of them, so entries
+            # behind the fronts are dead; likewise a store's forwarding
+            # window closed once the dispatch front passed its completion.
+            # Dropping them periodically keeps peak state bounded by the
+            # live window plus one prune interval, independent of trace
+            # length, without changing any timing decision.
+            if uop_index >= next_prune:
+                next_prune = uop_index + _PRUNE_INTERVAL
+                size = (
+                    len(dispatch_cnt) + len(issue_cnt) + len(fu_cnt)
+                    + len(commit_cnt) + len(store_ready)
+                )
+                if size > state_peak:
+                    state_peak = size
+                dispatch_cnt = {
+                    k: v for k, v in dispatch_cnt.items() if k >= last_dispatch
+                }
+                issue_cnt = {
+                    k: v for k, v in issue_cnt.items() if k >= last_dispatch
+                }
+                fu_cnt = {
+                    k: v for k, v in fu_cnt.items() if k[0] >= last_dispatch
+                }
+                commit_cnt = {
+                    k: v for k, v in commit_cnt.items() if k >= last_commit
+                }
+                store_ready = {
+                    a: t for a, t in store_ready.items() if t > last_dispatch
+                }
+
+        size = (
+            len(dispatch_cnt) + len(issue_cnt) + len(fu_cnt)
+            + len(commit_cnt) + len(store_ready)
+        )
+        self.debug_state_peak = max(state_peak, size)
         stats.cycles = max(1, last_commit - base_cycle)
         stats.l1d_misses = self.memory.l1d.misses
         stats.l2_misses = self.memory.l2.misses

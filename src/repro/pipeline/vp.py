@@ -72,6 +72,12 @@ class VPAdapter(Protocol):
         misprediction (the Bnew == Bflush case of §IV-A)."""
         ...
 
+    def fold_geometry(
+        self,
+    ) -> tuple[tuple[tuple[int, int], ...], tuple[tuple[int, int], ...]]:
+        """(idx_pairs, tag_pairs) the underlying predictor indexes with."""
+        ...
+
     def result_uop(
         self, handle: GroupHandle, pos: int, uop: DynMicroOp, complete_cycle: int
     ) -> None:
@@ -116,6 +122,11 @@ class InstructionVPAdapter:
         """Toggle provenance collection (called by the pipeline when a
         :class:`~repro.obs.timeline.TimelineRecorder` rides the run)."""
         self._prov = enabled
+
+    def fold_geometry(
+        self,
+    ) -> tuple[tuple[tuple[int, int], ...], tuple[tuple[int, int], ...]]:
+        return self.predictor.fold_geometry()
 
     def _apply_until(self, cycle: int) -> None:
         q = self._deferred

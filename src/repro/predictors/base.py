@@ -31,6 +31,14 @@ class HistoryState(NamedTuple):
     the low-order target-address path history.  The pipeline snapshots both
     at fetch and replays them at train time so a predictor never observes a
     history newer than its own prediction.
+
+    The pipeline actually passes a
+    :class:`~repro.common.history.FoldedHistoryState` — attribute-compatible
+    but additionally carrying the incrementally maintained folds of the
+    branch/path histories, which ``tagged_index``/``tagged_tag`` consume
+    instead of re-folding the full registers on every lookup.  Plain
+    ``HistoryState`` (tests, examples, standalone predictor use) takes the
+    bit-identical on-demand folding path.
     """
 
     branch: int = 0
@@ -116,6 +124,19 @@ class ValuePredictor(abc.ABC):
         """Storage in the paper's KB (1 KB = 1000 bytes, see DESIGN.md)."""
         return self.storage_bits() / 8 / 1000
 
+    def fold_geometry(
+        self,
+    ) -> tuple[tuple[tuple[int, int], ...], tuple[tuple[int, int], ...]]:
+        """(idx_pairs, tag_pairs) of (history_length, output_bits) this
+        predictor's ``tagged_index``/``tagged_tag`` calls use.
+
+        The pipeline registers these with its
+        :class:`~repro.common.history.FoldedHistorySet` so the folds are
+        maintained incrementally.  Predictors that never index by history
+        (LVP, stride, FCM) keep the empty default.
+        """
+        return (), ()
+
 
 def mix_pc(pc: int, uop_index: int) -> int:
     """Combine an instruction PC with the µ-op index (paper §V-B).
@@ -126,31 +147,85 @@ def mix_pc(pc: int, uop_index: int) -> int:
     return pc ^ uop_index
 
 
+# Pure-function memos for the key-dependent fold halves of the hashes below,
+# keyed by the packed (static PC ⊕ µ-op index) << 7 | width — same encoding
+# as repro.common.history.fold_key.  Bounded by the static code footprint of
+# the traced workloads times the handful of table geometries in play, so the
+# memos stay small while removing a 64-bit XOR-fold from every table lookup.
+_KEY_INDEX_FOLDS: dict[int, int] = {}
+_KEY_TAG_FOLDS: dict[int, int] = {}
+
+
 def table_index(key: int, index_bits: int) -> int:
     """Direct-mapped index: fold the whole key down to ``index_bits``."""
-    return fold_bits(key, 64, index_bits)
+    memo_key = (key << 7) | index_bits
+    v = _KEY_INDEX_FOLDS.get(memo_key)
+    if v is None:
+        v = _KEY_INDEX_FOLDS[memo_key] = fold_bits(key, 64, index_bits)
+    return v
+
+
+def _hist_index_fold(
+    branch: int, path: int, hist_length: int, index_bits: int
+) -> int:
+    """On-demand history half of ``tagged_index`` (the reference fold)."""
+    h = fold_bits(branch & mask(hist_length), hist_length, index_bits)
+    p = fold_bits(path & mask(min(hist_length, 16)), 16, index_bits)
+    return h ^ p
+
+
+def _hist_tag_fold(branch: int, hist_length: int, tag_bits: int) -> int:
+    """On-demand history half of ``tagged_tag`` (the reference fold)."""
+    h = fold_bits(branch & mask(hist_length), hist_length, tag_bits)
+    h2 = fold_bits(branch & mask(hist_length), hist_length, tag_bits - 1) << 1
+    return h ^ h2
 
 
 def tagged_index(
     key: int, hist: HistoryState, hist_length: int, index_bits: int
 ) -> int:
-    """TAGE-style index hash of PC, folded branch history and path history."""
-    h = fold_bits(hist.branch & mask(hist_length), hist_length, index_bits)
-    p = fold_bits(hist.path & mask(min(hist_length, 16)), 16, index_bits)
+    """TAGE-style index hash of PC, folded branch history and path history.
+
+    When ``hist`` is a :class:`~repro.common.history.FoldedHistoryState`
+    carrying a precomputed fold for this (history length, width) pair, the
+    fold is consumed directly — O(1) instead of re-folding up to
+    ``hist_length`` bits; otherwise (plain :class:`HistoryState`, or a
+    geometry the fold set was not configured with) it is computed on demand.
+    Both paths are bit-identical by construction (test-enforced).
+    """
+    folds = getattr(hist, "idx_folds", None)
+    if folds is not None:
+        hp = folds.get((hist_length << 7) | index_bits)
+        if hp is None:
+            hp = _hist_index_fold(hist.branch, hist.path, hist_length, index_bits)
+    else:
+        hp = _hist_index_fold(hist.branch, hist.path, hist_length, index_bits)
+    # Every term is already < 2**index_bits, so no final mask is needed.
     return (
         table_index(key, index_bits)
-        ^ h
-        ^ p
-        ^ ((key >> index_bits) & mask(index_bits))
-    ) & mask(index_bits)
+        ^ hp
+        ^ ((key >> index_bits) & ((1 << index_bits) - 1))
+    )
 
 
 def tagged_tag(key: int, hist: HistoryState, hist_length: int, tag_bits: int) -> int:
     """TAGE-style partial tag hash.
 
     Uses a different folding phase than the index so that index and tag are
-    decorrelated, as in TAGE implementations.
+    decorrelated, as in TAGE implementations.  Like :func:`tagged_index`,
+    consumes the precomputed fold when ``hist`` carries one.
     """
-    h = fold_bits(hist.branch & mask(hist_length), hist_length, tag_bits)
-    h2 = fold_bits(hist.branch & mask(hist_length), hist_length, tag_bits - 1) << 1
-    return (fold_bits(key * 0x9E3779B9, 64, tag_bits) ^ h ^ h2) & mask(tag_bits)
+    folds = getattr(hist, "tag_folds", None)
+    if folds is not None:
+        h = folds.get((hist_length << 7) | tag_bits)
+        if h is None:
+            h = _hist_tag_fold(hist.branch, hist_length, tag_bits)
+    else:
+        h = _hist_tag_fold(hist.branch, hist_length, tag_bits)
+    memo_key = (key << 7) | tag_bits
+    kf = _KEY_TAG_FOLDS.get(memo_key)
+    if kf is None:
+        kf = _KEY_TAG_FOLDS[memo_key] = fold_bits(key * 0x9E3779B9, 64, tag_bits)
+    # ``h`` spans tag_bits bits (h2 is tag_bits-1 wide, shifted by one), so
+    # the XOR stays < 2**tag_bits without a final mask.
+    return kf ^ h

@@ -50,13 +50,16 @@ class _LVTEntry:
 class _StrideEntry:
     """A VT0 or tagged-component entry: stride + confidence (+tag/useful)."""
 
-    __slots__ = ("tag", "stride", "conf", "useful")
+    __slots__ = ("tag", "stride", "conf", "useful", "useful_gen")
 
     def __init__(self) -> None:
         self.tag = -1
         self.stride = 0
         self.conf = 0
         self.useful = 0
+        # Generation the useful bit was last written in; a stale generation
+        # reads as useful == 0, making the periodic reset O(1).
+        self.useful_gen = 0
 
 
 class _TrainMeta:
@@ -129,7 +132,17 @@ class DVTAGEPredictor(ValuePredictor):
         self._rng = XorShift64(seed)
         self._useful_reset_period = useful_reset_period
         self._updates_since_reset = 0
+        self._useful_gen = 0
         self._spec_dirty: set[int] = set()
+
+    def fold_geometry(
+        self,
+    ) -> tuple[tuple[tuple[int, int], ...], tuple[tuple[int, int], ...]]:
+        idx = tuple(
+            (length, self.tagged_index_bits) for length in self.history_lengths
+        )
+        tag = tuple(zip(self.history_lengths, self.tag_bits))
+        return idx, tag
 
     # -- lookups -----------------------------------------------------------
 
@@ -148,12 +161,15 @@ class DVTAGEPredictor(ValuePredictor):
 
     def _select_stride(
         self, key: int, hist: HistoryState
-    ) -> tuple[int, int, int, int, int]:
-        """Pick the providing stride.
+    ) -> tuple[int, int, int, _StrideEntry, int]:
+        """Pick the providing stride entry.
 
-        Returns (provider, index, tag, stride, conf) with provider 0 for VT0
-        and ``comp + 1`` for tagged component ``comp``; ``alt`` handling is
-        done by the caller.
+        Returns ``(provider, index, tag, entry, alt_stride)`` with provider
+        0 for VT0 and ``comp + 1`` for tagged component ``comp``.  ``entry``
+        is the providing entry itself (stride + confidence live there) and
+        ``alt_stride`` the stride of the next-longest hitting component — or
+        VT0's when the provider is the only hit — which training feeds to
+        the usefulness heuristic.
         """
         hits = []
         for comp in range(self.components):
@@ -168,10 +184,10 @@ class DVTAGEPredictor(ValuePredictor):
                 alt_stride = self._tagged[alt_comp][alt_index].stride
             else:
                 alt_stride = self._vt0[table_index(key, self.base_index_bits)].stride
-            return comp + 1, index, tag, alt_stride, 0
+            return comp + 1, index, tag, entry, alt_stride
         index = table_index(key, self.base_index_bits)
         entry = self._vt0[index]
-        return 0, index, 0, entry.stride, 0
+        return 0, index, 0, entry, entry.stride
 
     def _stride_value(self, stored: int) -> int:
         """Sign-extend a stored (possibly partial) stride for the adder."""
@@ -200,11 +216,7 @@ class DVTAGEPredictor(ValuePredictor):
         if not lvt.valid:
             # Still waiting for the first commit of this instruction.
             return None
-        provider, index, tag, alt_stride, _ = self._select_stride(key, hist)
-        if provider == 0:
-            entry = self._vt0[index]
-        else:
-            entry = self._tagged[provider - 1][index]
+        provider, index, tag, entry, alt_stride = self._select_stride(key, hist)
         # Idealistic instruction-level speculative history: with k older
         # instances in flight this instance is last + (k+1)*stride (instance
         # counting); the realistic chained-value alternative is the BeBoP
@@ -269,6 +281,7 @@ class DVTAGEPredictor(ValuePredictor):
                     entry.conf = self.fpc.reset_level()
                     entry.stride = observed_stride
                     entry.useful = 0
+                entry.useful_gen = self._useful_gen
         if not correct:
             self._allocate(key, hist, meta.provider, observed_stride, meta.conf)
         # The LVT always tracks committed last values.
@@ -285,16 +298,20 @@ class DVTAGEPredictor(ValuePredictor):
         stride: int,
         provider_conf: int,
     ) -> None:
+        gen = self._useful_gen
         candidates = []
         slots = []
         for comp in range(provider, self.components):
             index, tag = self._component_slot(comp, key, hist)
             slots.append((comp, index, tag))
-            if self._tagged[comp][index].useful == 0:
+            entry = self._tagged[comp][index]
+            if entry.useful == 0 or entry.useful_gen != gen:
                 candidates.append((comp, index, tag))
         if not candidates:
             for comp, index, _tag in slots:
-                self._tagged[comp][index].useful = 0
+                entry = self._tagged[comp][index]
+                entry.useful = 0
+                entry.useful_gen = gen
             return
         comp, index, tag = candidates[self._rng.next_below(len(candidates))]
         entry = self._tagged[comp][index]
@@ -306,14 +323,15 @@ class DVTAGEPredictor(ValuePredictor):
         # propagation is off by default and ablatable.
         entry.conf = provider_conf if self.propagate_confidence else 0
         entry.useful = 0
+        entry.useful_gen = gen
 
     def _tick_useful_reset(self) -> None:
+        # O(1) periodic reset: bumping the generation makes every entry's
+        # stale useful bit read as 0 without walking the 6×1024 entries.
         self._updates_since_reset += 1
         if self._updates_since_reset >= self._useful_reset_period:
             self._updates_since_reset = 0
-            for component in self._tagged:
-                for entry in component:
-                    entry.useful = 0
+            self._useful_gen += 1
 
     def squash(self, surviving: dict[tuple[int, int], int] | None = None) -> None:
         """Flush repair: restore in-flight counts from the checkpoint (see

@@ -42,6 +42,12 @@ class VTAGE2DStrideHybrid(ValuePredictor):
             stride if stride is not None else TwoDeltaStridePredictor(fpc=shared)
         )
 
+    def fold_geometry(
+        self,
+    ) -> tuple[tuple[tuple[int, int], ...], tuple[tuple[int, int], ...]]:
+        # Only the VTAGE side indexes by history.
+        return self.vtage.fold_geometry()
+
     def predict(
         self, pc: int, uop_index: int, hist: HistoryState
     ) -> Prediction | None:

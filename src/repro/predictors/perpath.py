@@ -81,6 +81,11 @@ class PerPathStridePredictor(ValuePredictor):
         self._sht = [_SHTEntry() for _ in range(sht_entries)]
         self._spec_dirty: set[int] = set()
 
+    def fold_geometry(
+        self,
+    ) -> tuple[tuple[tuple[int, int], ...], tuple[tuple[int, int], ...]]:
+        return ((self.history_length, self.sht_index_bits),), ()
+
     def _vht_slot(self, key: int) -> tuple[_VHTEntry, int, int]:
         index = table_index(key, self.vht_index_bits)
         tag = (key >> self.vht_index_bits) & mask(self.tag_bits)

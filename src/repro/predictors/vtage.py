@@ -56,13 +56,16 @@ class _BaseEntry:
 
 
 class _TaggedEntry:
-    __slots__ = ("tag", "value", "conf", "useful")
+    __slots__ = ("tag", "value", "conf", "useful", "useful_gen")
 
     def __init__(self) -> None:
         self.tag = -1
         self.value = 0
         self.conf = 0
         self.useful = 0
+        # Generation the useful bit was last written in; a stale generation
+        # reads as useful == 0, making the periodic reset O(1).
+        self.useful_gen = 0
 
 
 class _TrainMeta:
@@ -120,6 +123,16 @@ class VTAGEPredictor(ValuePredictor):
         self._rng = XorShift64(seed)
         self._useful_reset_period = useful_reset_period
         self._updates_since_reset = 0
+        self._useful_gen = 0
+
+    def fold_geometry(
+        self,
+    ) -> tuple[tuple[tuple[int, int], ...], tuple[tuple[int, int], ...]]:
+        idx = tuple(
+            (length, self.tagged_index_bits) for length in self.history_lengths
+        )
+        tag = tuple(zip(self.history_lengths, self.tag_bits))
+        return idx, tag
 
     # -- lookups -----------------------------------------------------------
 
@@ -213,6 +226,7 @@ class VTAGEPredictor(ValuePredictor):
                     entry.conf = self.fpc.reset_level()
                     entry.value = actual
                     entry.useful = 0
+                entry.useful_gen = self._useful_gen
         if not correct:
             self._allocate(key, hist, meta.provider, actual)
         self._tick_useful_reset()
@@ -222,16 +236,20 @@ class VTAGEPredictor(ValuePredictor):
     ) -> None:
         """Allocate in a not-useful entry of a longer-history component."""
         start = provider  # provider 0 = base -> components 0.. ; i+1 -> i+1..
+        gen = self._useful_gen
         candidates = []
         slots = []
         for comp in range(start, self.components):
             index, tag = self._component_slot(comp, key, hist)
             slots.append((comp, index, tag))
-            if self._tagged[comp][index].useful == 0:
+            entry = self._tagged[comp][index]
+            if entry.useful == 0 or entry.useful_gen != gen:
                 candidates.append((comp, index, tag))
         if not candidates:
             for comp, index, _tag in slots:
-                self._tagged[comp][index].useful = 0
+                entry = self._tagged[comp][index]
+                entry.useful = 0
+                entry.useful_gen = gen
             return
         comp, index, tag = candidates[self._rng.next_below(len(candidates))]
         entry = self._tagged[comp][index]
@@ -239,18 +257,27 @@ class VTAGEPredictor(ValuePredictor):
         entry.value = actual
         entry.conf = self._allocation_confidence()
         entry.useful = 0
+        entry.useful_gen = gen
 
     def _allocation_confidence(self) -> int:
         """Confidence level installed in a freshly allocated entry."""
         return 0
 
     def _tick_useful_reset(self) -> None:
+        # O(1) periodic reset: bumping the generation makes every entry's
+        # stale useful bit read as 0 without walking the tables.
         self._updates_since_reset += 1
         if self._updates_since_reset >= self._useful_reset_period:
             self._updates_since_reset = 0
-            for component in self._tagged:
-                for entry in component:
-                    entry.useful = 0
+            self._useful_gen += 1
+
+    def _useful_value(self, entry: _TaggedEntry) -> int:
+        """Logical usefulness of an entry: a stale generation reads as 0.
+
+        The hot paths inline this check; white-box tests use it to observe
+        the post-reset state without depending on the representation.
+        """
+        return entry.useful if entry.useful_gen == self._useful_gen else 0
 
     # -- reporting ----------------------------------------------------------
 

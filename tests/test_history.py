@@ -1,9 +1,18 @@
 """Unit tests for global/folded histories."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.common.bits import fold_bits
-from repro.common.history import FoldedHistory, GlobalHistory
+from repro.common.bits import fold_bits, mask
+from repro.common.history import (
+    PATH_FOLD_BITS,
+    FoldedHistory,
+    FoldedHistorySet,
+    GlobalHistory,
+    fold_key,
+)
+from repro.predictors.base import HistoryState, tagged_index, tagged_tag
 
 
 class TestGlobalHistory:
@@ -87,3 +96,120 @@ class TestFoldedHistory:
     def test_bad_width(self):
         with pytest.raises(ValueError):
             FoldedHistory(8, 0)
+
+
+class TestFoldedHistorySet:
+    """The incremental fold registers against the on-demand reference.
+
+    ``FoldedHistorySet`` and ``tagged_index``/``tagged_tag``'s fallback path
+    must be bit-identical by construction (XOR-folding is linear in the
+    history bits); these properties enforce it over randomized sequences of
+    outcome pushes, path pushes, snapshots and restores.
+    """
+
+    @staticmethod
+    def _reference_folds(hset, idx_pairs, tag_pairs):
+        """On-demand folds of the raw registers (the pre-existing slow path)."""
+        branch = hset.branch.value()
+        path = hset.path.value()
+        idx = {}
+        for length, width in idx_pairs:
+            h = fold_bits(branch & mask(length), length, width)
+            p = fold_bits(
+                path & mask(min(length, PATH_FOLD_BITS)), PATH_FOLD_BITS, width
+            )
+            idx[fold_key(length, width)] = h ^ p
+        tag = {}
+        for length, width in tag_pairs:
+            h = fold_bits(branch & mask(length), length, width)
+            if width > 1:
+                h ^= fold_bits(branch & mask(length), length, width - 1) << 1
+            tag[fold_key(length, width)] = h
+        return idx, tag
+
+    _pairs = st.lists(
+        st.tuples(st.integers(1, 64), st.integers(1, 12)),
+        min_size=1,
+        max_size=4,
+    )
+    _ops = st.lists(
+        st.one_of(
+            st.tuples(st.just("outcome"), st.booleans()),
+            st.tuples(st.just("path"), st.integers(0, 0xFFFF)),
+            st.tuples(st.just("snap"), st.just(0)),
+            st.tuples(st.just("restore"), st.integers(0, 9)),
+        ),
+        max_size=60,
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(idx_pairs=_pairs, tag_pairs=_pairs, ops=_ops)
+    def test_incremental_folds_match_reference(self, idx_pairs, tag_pairs, ops):
+        hset = FoldedHistorySet(640, 64, idx_pairs, tag_pairs)
+        snaps = []
+        for kind, arg in ops:
+            if kind == "outcome":
+                hset.push_outcome(arg)
+            elif kind == "path":
+                hset.push_path(arg)
+            elif kind == "snap":
+                snaps.append(hset.snapshot())
+            elif snaps:
+                hset.restore(snaps[arg % len(snaps)])
+            state = hset.state()
+            ref_idx, ref_tag = self._reference_folds(hset, idx_pairs, tag_pairs)
+            assert state.branch == hset.branch.value()
+            assert state.path == hset.path.value()
+            assert state.idx_folds == ref_idx
+            assert state.tag_folds == ref_tag
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        pairs=_pairs,
+        outcomes=st.lists(st.booleans(), max_size=80),
+        targets=st.lists(st.integers(0, 0xFFFF), max_size=40),
+        key=st.integers(0, 0xFFFF_FFFF),
+    )
+    def test_tagged_hashes_agree_with_plain_history(
+        self, pairs, outcomes, targets, key
+    ):
+        """``tagged_index``/``tagged_tag`` produce the same hash whether fed
+        a FoldedHistoryState (fast path) or a plain HistoryState (fallback)."""
+        hset = FoldedHistorySet(640, 64, pairs, pairs)
+        for taken in outcomes:
+            hset.push_outcome(taken)
+        for target in targets:
+            hset.push_path(target)
+        fast = hset.state()
+        slow = HistoryState(branch=fast.branch, path=fast.path)
+        for length, width in pairs:
+            assert tagged_index(key, fast, length, width) == tagged_index(
+                key, slow, length, width
+            )
+            assert tagged_tag(key, fast, length, width) == tagged_tag(
+                key, slow, length, width
+            )
+
+    def test_state_cached_between_pushes(self):
+        hset = FoldedHistorySet(64, 16, [(8, 4)], [(8, 4)])
+        hset.push_outcome(True)
+        s1 = hset.state()
+        assert hset.state() is s1          # no push: same immutable snapshot
+        hset.push_outcome(False)
+        assert hset.state() is not s1      # push invalidates the cache
+
+    def test_restore_invalidates_state(self):
+        hset = FoldedHistorySet(64, 16, [(8, 4)], [])
+        snap = hset.snapshot()
+        hset.push_outcome(True)
+        before = hset.state()
+        hset.restore(snap)
+        after = hset.state()
+        assert after is not before
+        assert after.idx_folds == {fold_key(8, 4): 0}
+
+    def test_width_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FoldedHistorySet(64, 16, [(8, 0)], [])
+        with pytest.raises(ValueError):
+            FoldedHistorySet(64, 16, [], [(8, 128)])

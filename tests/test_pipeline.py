@@ -162,6 +162,40 @@ class TestTimingBasics:
         assert a.cycles == b.cycles
 
 
+class TestBoundedMachineState:
+    def test_state_peak_independent_of_trace_length(self):
+        """The per-run machine state (dispatch/issue/FU/commit occupancy maps,
+        store-forwarding windows) is pruned behind the dispatch and commit
+        fronts, so its peak size must not grow with the trace length."""
+        kr = build_strided_kernel(seed=1, trip=16)
+
+        def peak(n_uops, config=BASELINE_6_60, adapter=None):
+            trace = generate_trace(kr.program, n_uops, init_mem=kr.init_mem)
+            model = PipelineModel(config, adapter)
+            model.run(trace)
+            return model.debug_state_peak
+
+        short = peak(12000)
+        long = peak(72000)
+        assert short > 0
+        # 6x the µ-ops must not move the peak beyond prune-interval jitter
+        # (unbounded state would grow it roughly 6x).
+        assert long <= short * 1.1
+
+    def test_state_peak_bounded_with_vp(self):
+        kr = build_strided_kernel(seed=1, trip=16)
+
+        def peak(n_uops):
+            trace = generate_trace(kr.program, n_uops, init_mem=kr.init_mem)
+            model = PipelineModel(
+                baseline_vp_6_60(), InstructionVPAdapter(DVTAGEPredictor())
+            )
+            model.run(trace)
+            return model.debug_state_peak
+
+        assert peak(60000) <= peak(12000) * 1.1
+
+
 class TestVPIntegration:
     def test_vp_requires_adapter(self):
         with pytest.raises(ValueError):

@@ -55,13 +55,18 @@ class TestVTAGEAllocation:
     def test_useful_reset_period(self):
         p = VTAGEPredictor(useful_reset_period=10)
         hist = HistoryState(0b111, 0)
-        # Force usefulness, then push past the reset period.
+        # Force usefulness (in the current generation), then push past the
+        # reset period: every entry must read as not-useful again.  The
+        # reset is a generation bump, not a table walk, so observe through
+        # the logical accessor.
         for comp in p._tagged:
             comp[0].useful = 1
+            comp[0].useful_gen = p._useful_gen
+        assert any(p._useful_value(e) == 1 for comp in p._tagged for e in comp)
         for i in range(12):
             pred = p.predict(PC + 8 * i, 0, hist)
             p.train(PC + 8 * i, 0, hist, i, pred)
-        assert all(e.useful == 0 for comp in p._tagged for e in comp)
+        assert all(p._useful_value(e) == 0 for comp in p._tagged for e in comp)
 
 
 class TestDVTAGEInternals:
