@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Kill-mid-sweep → resume round-trip check (the chaos-smoke CI gate).
+
+Proves the crash-safe checkpoint/resume contract end to end, with a real
+kill signal rather than an in-process simulation of one:
+
+1. run a reference fig5a sweep to completion, serial and unjournaled;
+2. launch the same sweep in a child process with a ``RunJournal``
+   attached, wait until some — but not all — jobs are checkpointed, and
+   ``SIGKILL`` the child (no handlers, no cleanup: the journal on disk is
+   whatever the per-job fsyncs made durable);
+3. resume the sweep in-process from the half-written journal and assert
+   that (a) only the unfinished jobs were re-executed, (b) the journal
+   holds exactly one record per job — no duplicate completions — and
+   (c) the resumed :class:`ExperimentResult` rows equal the reference
+   bit for bit.
+
+Run:  PYTHONPATH=src python examples/chaos_resume_check.py [--throttle S]
+Exits non-zero (with a message) on any violated invariant.
+"""
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import repro.exec
+from repro.chaos import RunJournal
+from repro.eval import experiments
+from repro.eval.runner import RunSpec
+from repro.exec.jobs import run_job
+
+#: Small but real simulations: big enough that a kill lands mid-sweep,
+#: small enough that the whole check stays under a minute.
+SPEC = RunSpec(uops=6_000, warmup=1_500, workloads=("swim", "gobmk"))
+
+#: fig5a = one baseline + four predictors per workload.
+TOTAL_JOBS = len(SPEC.workloads) * (1 + len(experiments.FIG5A_PREDICTORS))
+
+#: How many journaled jobs to wait for before killing the child.
+KILL_AFTER = 3
+
+
+def _throttled_run_job(spec):
+    """run_job plus a pause, widening the window for the parent's kill."""
+    stats = run_job(spec)
+    time.sleep(float(os.environ.get("CHAOS_CHECK_THROTTLE", "0")))
+    return stats
+
+
+def run_child(journal_path: str) -> int:
+    """Child mode: the journaled sweep the parent is going to kill."""
+    repro.exec.configure(journal=RunJournal(journal_path))
+    repro.exec.current_scheduler().job_fn = _throttled_run_job
+    experiments.fig5a(SPEC)
+    return 0
+
+
+def _journal_lines(path: Path) -> list[str]:
+    """Complete (newline-terminated) journal lines currently on disk."""
+    try:
+        raw = path.read_text()
+    except FileNotFoundError:
+        return []
+    return [line for line in raw.split("\n")[:-1] if line.strip()]
+
+
+def _fail(message: str) -> "NoReturn":  # noqa: F821 - py3.10 floor
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--throttle", type=float, default=0.3,
+                        help="seconds the child sleeps after each job "
+                             "(widens the kill window; default 0.3)")
+    parser.add_argument("--child", default=None, metavar="JOURNAL",
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args()
+    if args.child:
+        return run_child(args.child)
+
+    print(f"[1/4] reference sweep ({TOTAL_JOBS} jobs, uninterrupted) ...")
+    repro.exec.reset()
+    reference = experiments.fig5a(SPEC)
+
+    with tempfile.TemporaryDirectory(prefix="chaos-resume-") as tmp:
+        journal_path = Path(tmp) / "sweep.jsonl"
+        print(f"[2/4] journaled child sweep, SIGKILL after {KILL_AFTER} "
+              f"checkpointed jobs ...")
+        env = dict(os.environ, CHAOS_CHECK_THROTTLE=str(args.throttle))
+        child = subprocess.Popen(
+            [sys.executable, os.path.abspath(__file__),
+             "--child", str(journal_path)],
+            env=env,
+        )
+        try:
+            deadline = time.monotonic() + 300
+            while (len(_journal_lines(journal_path)) < KILL_AFTER
+                   and child.poll() is None):
+                if time.monotonic() > deadline:
+                    _fail("child made no progress within 300s")
+                time.sleep(0.05)
+            killed_mid_sweep = child.poll() is None
+            if killed_mid_sweep:
+                child.send_signal(signal.SIGKILL)
+            child.wait(timeout=60)
+        finally:
+            if child.poll() is None:  # pragma: no cover - belt and braces
+                child.kill()
+
+        done = len(_journal_lines(journal_path))
+        if not killed_mid_sweep:
+            print("  note: child finished before the kill landed "
+                  "(fast host); resume still verified below")
+        elif not KILL_AFTER <= done < TOTAL_JOBS:
+            _fail(f"kill landed outside the sweep: {done}/{TOTAL_JOBS} "
+                  f"jobs journaled")
+        print(f"      child dead with {done}/{TOTAL_JOBS} jobs journaled")
+
+        print(f"[3/4] resuming from the half-written journal ...")
+        journal = RunJournal(journal_path)
+        if journal.loaded != done:
+            _fail(f"journal reload found {journal.loaded} valid records, "
+                  f"expected {done}")
+        repro.exec.configure(journal=journal)
+        resumed = experiments.fig5a(SPEC)
+        repro.exec.reset()
+
+        print(f"[4/4] checking invariants ...")
+        if journal.appended != TOTAL_JOBS - done:
+            _fail(f"resume re-ran {journal.appended} jobs, expected "
+                  f"{TOTAL_JOBS - done} (only the unfinished ones)")
+        lines = _journal_lines(journal_path)
+        if len(lines) != TOTAL_JOBS:
+            _fail(f"journal holds {len(lines)} records, expected "
+                  f"{TOTAL_JOBS}")
+        import json
+        digests = [json.loads(line)["digest"] for line in lines]
+        if len(set(digests)) != len(digests):
+            _fail("journal contains duplicate completions")
+        if resumed != reference:
+            _fail("resumed ExperimentResult rows differ from the "
+                  "uninterrupted reference")
+        journal.close()
+
+    print(f"OK: kill at {done}/{TOTAL_JOBS} -> resume re-ran "
+          f"{TOTAL_JOBS - done} job(s), no duplicates, rows bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,11 +22,26 @@ on EOLE_4_60, first workload of the run) is recorded per-µop by a
 ``--timeline-format konata``, as a Konata pipeline log; a
 prediction-provenance report section is appended as well.
 
+With ``--resume PATH`` the run keeps a crash-safe JSONL job journal at
+PATH: every finished cell is checkpointed the moment it completes, and a
+re-run with the same ``--resume PATH`` after a crash, OOM kill, or Ctrl-C
+re-runs *only* the unfinished cells (results are bit-identical to an
+uninterrupted run).  Passing a not-yet-existing PATH starts a fresh
+journal; SIGINT/SIGTERM print the exact resume command.
+
+With ``--chaos SPEC`` (e.g. ``--chaos exception=0.2,crash=0.05,seed=7``)
+deterministic faults are injected into the sweep — worker crashes, hangs,
+transient exceptions, cache-blob corruption — to rehearse the recovery
+machinery; results are unchanged as long as the default retry budget
+covers ``max_faults`` (it does).
+
 Run:  python examples/run_experiments.py [--quick] [--jobs N] [--no-cache]
                                          [--skip ID ...] [--out report.txt]
                                          [--obs] [--obs-out trace.jsonl]
                                          [--timeline OUT.json]
                                          [--timeline-format chrome|konata]
+                                         [--resume journal.jsonl]
+                                         [--chaos k=v,...]
 """
 
 import argparse
@@ -82,6 +97,17 @@ def main() -> int:
                         help="timeline export format: Chrome trace_event "
                              "JSON for Perfetto (default) or a Konata "
                              "pipeline log")
+    parser.add_argument("--resume", default=None, metavar="JOURNAL",
+                        help="crash-safe JSONL job journal: checkpoint "
+                             "every finished cell there and, if the file "
+                             "already holds results from an interrupted "
+                             "run, re-run only the unfinished cells")
+    parser.add_argument("--chaos", default=None, metavar="SPEC",
+                        help="inject deterministic faults, e.g. "
+                             "'exception=0.2,crash=0.05,hang=0.1,"
+                             "corrupt=0.1,seed=7' (keys: crash, hang, "
+                             "exception, corrupt, seed, hang_seconds, "
+                             "max_faults)")
     args = parser.parse_args()
     if args.obs_out or args.timeline:
         args.obs = True
@@ -95,12 +121,37 @@ def main() -> int:
 
     if args.obs:
         obs.enable()
+
+    chaos = None
+    if args.chaos:
+        from repro.chaos import FaultPlan, parse_chaos_spec
+        try:
+            config = parse_chaos_spec(args.chaos)
+        except ValueError as exc:
+            parser.error(str(exc))
+        chaos = FaultPlan(config)
+        print(f"[exec] chaos enabled: {config}")
+
+    journal = None
+    if args.resume:
+        from repro.chaos import RunJournal
+        _ensure_parent(args.resume)
+        journal = RunJournal(args.resume)
+        if journal.loaded:
+            print(f"[exec] resuming: {journal.loaded} finished job(s) "
+                  f"loaded from {args.resume}")
+        if journal.skipped_lines:
+            print(f"[exec] journal: {journal.skipped_lines} invalid "
+                  f"line(s) ignored")
+
     cache = None
     if not args.no_cache:
-        cache = repro.exec.ResultCache(root=args.cache_dir)
+        cache = repro.exec.ResultCache(root=args.cache_dir, chaos=chaos)
     progress = repro.exec.ProgressMeter()
+    retries = max(1, chaos.config.max_faults_per_job) if chaos else 1
     repro.exec.configure(jobs=args.jobs, cache=cache,
-                         timeout=args.job_timeout, progress=progress)
+                         timeout=args.job_timeout, progress=progress,
+                         retries=retries, chaos=chaos, journal=journal)
 
     if args.quick:
         spec = RunSpec(
@@ -186,6 +237,11 @@ def main() -> int:
     print(f"\n[exec] {args.jobs} worker(s): {progress.summary()}")
     if cache is not None:
         print(f"[exec] {cache.summary()}")
+    if journal is not None:
+        print(f"[exec] {journal.summary()}")
+        journal.close()
+    if chaos is not None:
+        print(f"[exec] {chaos.summary()}")
 
     if args.obs:
         snapshot = obs.registry().snapshot()

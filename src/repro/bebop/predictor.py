@@ -27,6 +27,11 @@ from dataclasses import dataclass
 
 from repro.common.bits import mask, to_signed, to_unsigned
 from repro.common.rng import XorShift64
+from repro.pipeline.config import (
+    ConfigError,
+    require_positive,
+    require_power_of_two,
+)
 from repro.predictors.base import (
     HistoryState,
     table_index,
@@ -59,12 +64,30 @@ class BlockDVTAGEConfig:
     monotonic_byte_tags: bool = True
 
     def __post_init__(self) -> None:
-        for n, what in ((self.base_entries, "base_entries"),
-                        (self.tagged_entries, "tagged_entries")):
-            if n <= 0 or n & (n - 1):
-                raise ValueError(f"{what} must be a power of two, got {n}")
-        if self.npred <= 0:
-            raise ValueError(f"npred must be positive, got {self.npred}")
+        """Reject impossible geometries, listing every violation at once
+        (one :class:`~repro.pipeline.config.ConfigError`, same contract
+        as :class:`~repro.pipeline.config.CoreConfig`)."""
+        violations: list[str] = []
+        require_positive(
+            violations, self,
+            "npred", "base_entries", "tagged_entries", "components",
+            "first_tag_bits", "lvt_tag_bits", "byte_tag_bits",
+            "stride_bits", "min_history", "max_history",
+            "useful_reset_period",
+        )
+        require_power_of_two(violations, self, "base_entries",
+                             "tagged_entries")
+        if self.stride_bits > 64:
+            violations.append(
+                f"stride_bits must be <= 64, got {self.stride_bits}"
+            )
+        if 0 < self.max_history <= self.min_history:
+            violations.append(
+                f"min_history ({self.min_history}) must be smaller than "
+                f"max_history ({self.max_history})"
+            )
+        if violations:
+            raise ConfigError("BlockDVTAGEConfig", violations)
 
 
 class _LVTEntry:

@@ -1,0 +1,60 @@
+"""Resilience engineering for the execution layer: chaos + recovery.
+
+The BeBoP paper's core concern is recovering gracefully from value
+misspeculation; this package applies the same discipline to the sweep
+infrastructure itself, in three coupled layers:
+
+* **Deterministic fault injection** — :class:`FaultPlan` /
+  :class:`ChaosConfig` (:mod:`repro.chaos.plan`): seeded, reproducible
+  worker crashes, hangs, transient exceptions and cache-blob corruption,
+  threaded into :class:`repro.exec.Scheduler` and
+  :class:`repro.exec.ResultCache` through explicit ``chaos=`` hooks with a
+  zero-overhead ``None`` path.
+* **Crash-safe checkpoint/resume** — :class:`RunJournal`
+  (:mod:`repro.chaos.journal`): an append-only, fsynced JSONL record of
+  per-job outcomes keyed by spec digest + code-version salt; attaching it
+  to the scheduler (``journal=``) makes any sweep resumable after a kill,
+  re-running only unfinished jobs with bit-identical results.
+* **Cache integrity** — sha256 payload checksums on every cache blob,
+  verified on read; corrupt blobs are quarantined to a ``corrupt/``
+  subdirectory, never silently trusted or deleted
+  (:mod:`repro.exec.cache`).
+
+Observability: injections surface as ``exec/fault/*`` counters,
+recoveries as ``exec/fault/recovered``, detected corruption as
+``exec/cache/corrupt``, and journal activity as ``exec/journal/*``.
+"""
+
+from repro.chaos.journal import (
+    JOURNAL_SCHEMA,
+    RunJournal,
+    default_journal_path,
+    resume_guard,
+)
+from repro.chaos.plan import (
+    CORRUPT_MODES,
+    JOB_FAULT_KINDS,
+    ChaosConfig,
+    FaultAction,
+    FaultPlan,
+    InjectedFault,
+    apply_fault,
+    parse_chaos_spec,
+    run_faulted,
+)
+
+__all__ = [
+    "CORRUPT_MODES",
+    "ChaosConfig",
+    "FaultAction",
+    "FaultPlan",
+    "InjectedFault",
+    "JOB_FAULT_KINDS",
+    "JOURNAL_SCHEMA",
+    "RunJournal",
+    "apply_fault",
+    "default_journal_path",
+    "parse_chaos_spec",
+    "resume_guard",
+    "run_faulted",
+]

@@ -116,20 +116,26 @@ def _ipcs(jobs, label: str = "") -> list[float]:
 
 def _meta_start() -> dict:
     """Baseline readings for :func:`_meta_finish`'s deltas."""
-    cache = _exec().current_scheduler().cache
+    sched = _exec().current_scheduler()
+    cache = sched.cache
+    journal = sched.journal
     return {
         "t0": time.perf_counter(),
         "hits": cache.hits if cache is not None else 0,
         "misses": cache.misses if cache is not None else 0,
+        "journal_hits": journal.hits if journal is not None else 0,
+        "journal_records": journal.appended if journal is not None else 0,
     }
 
 
 def _meta_finish(start: dict) -> dict:
     """Execution metadata for an :class:`ExperimentResult`: wall-clock,
     worker count, — when a result cache is attached — how much of this
-    sweep was answered from disk, and — when observability is on — the
-    registry snapshot as of this experiment's completion.  Meta never
-    participates in result equality."""
+    sweep was answered from disk, — when a run journal is attached (the
+    crash-safe resume mode of :mod:`repro.chaos`) — how much was resumed
+    from a previous interrupted run vs freshly checkpointed, and — when
+    observability is on — the registry snapshot as of this experiment's
+    completion.  Meta never participates in result equality."""
     import repro.obs as obs
 
     sched = _exec().current_scheduler()
@@ -140,6 +146,11 @@ def _meta_finish(start: dict) -> dict:
     if sched.cache is not None:
         meta["cache_hits"] = sched.cache.hits - start["hits"]
         meta["cache_misses"] = sched.cache.misses - start["misses"]
+    if sched.journal is not None:
+        meta["journal_resumed"] = sched.journal.hits - start["journal_hits"]
+        meta["journal_recorded"] = (
+            sched.journal.appended - start["journal_records"]
+        )
     if obs.enabled():
         meta["metrics"] = obs.registry().snapshot()
     return meta

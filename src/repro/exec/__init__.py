@@ -17,6 +17,13 @@ simulation cells; this package is the layer that executes that grid:
 :func:`run_specs` — the entry point :mod:`repro.eval.experiments` fans
 out through — dispatches to.  The default is serial and uncached, i.e.
 exactly the semantics the sweeps had before this layer existed.
+
+Resilience (crash-safe checkpoint/resume via a
+:class:`~repro.chaos.RunJournal`, deterministic fault injection via a
+:class:`~repro.chaos.FaultPlan`, cache-blob integrity checking) lives in
+:mod:`repro.chaos` and threads into this layer through the ``journal=``
+and ``chaos=`` hooks of :func:`configure` / :class:`Scheduler` /
+:class:`ResultCache`.
 """
 
 from __future__ import annotations
@@ -24,7 +31,13 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.pipeline import SimStats
-from repro.exec.cache import CACHE_ENV, CODE_VERSION, ResultCache, default_cache_root
+from repro.exec.cache import (
+    CACHE_ENV,
+    CODE_VERSION,
+    ResultCache,
+    default_cache_root,
+    payload_checksum,
+)
 from repro.exec.jobs import (
     JobSpec,
     baseline_job,
@@ -52,11 +65,20 @@ def configure(
     timeout: float | None = None,
     retries: int = 1,
     progress: ProgressMeter | None = None,
+    chaos=None,
+    journal=None,
 ) -> Scheduler:
-    """Install (and return) the process-wide default scheduler."""
+    """Install (and return) the process-wide default scheduler.
+
+    ``chaos`` (a :class:`repro.chaos.FaultPlan`) and ``journal`` (a
+    :class:`repro.chaos.RunJournal`) switch every subsequent sweep into
+    fault-injected and/or crash-safe-resumable execution; both default to
+    ``None`` — the zero-overhead path.
+    """
     global _default_scheduler
     _default_scheduler = Scheduler(
-        jobs=jobs, cache=cache, timeout=timeout, retries=retries, progress=progress
+        jobs=jobs, cache=cache, timeout=timeout, retries=retries,
+        progress=progress, chaos=chaos, journal=journal,
     )
     return _default_scheduler
 
@@ -92,6 +114,7 @@ __all__ = [
     "current_scheduler",
     "default_cache_root",
     "instr_vp_job",
+    "payload_checksum",
     "reset",
     "run_job",
     "run_job_observed",

@@ -1,4 +1,4 @@
-"""Content-addressed on-disk result store.
+"""Content-addressed on-disk result store with payload integrity checking.
 
 Finished cells never recompute: results are JSON blobs keyed by the
 :meth:`JobSpec.digest` under a per-code-version directory, so
@@ -10,13 +10,21 @@ Finished cells never recompute: results are JSON blobs keyed by the
 * ``rm -rf ~/.cache/repro-bebop`` (or the directory named by
   ``$REPRO_BEBOP_CACHE``) is always a safe full invalidation.
 
-Writes are atomic (temp file + rename) so a crashed or parallel writer
-can never leave a half-written blob that a later reader trusts; corrupt
-blobs are treated as misses and deleted.
+Writes are atomic (temp file + rename, with the temp file unlinked even
+when serialization dies mid-way) so a crashed or parallel writer can never
+leave a half-written blob that a later reader trusts.  Every blob carries
+a sha256 checksum of its ``{"spec", "stats"}`` payload, verified on
+:meth:`ResultCache.get`: a blob that fails to parse *or* fails its
+checksum is treated as a miss and **quarantined** into a ``corrupt/``
+subdirectory — never silently deleted — so corruption stays diagnosable
+(``exec/cache/corrupt`` counts each quarantine).  The optional ``chaos``
+hook lets a :class:`repro.chaos.FaultPlan` corrupt freshly written blobs
+on purpose, which is how the chaos suite proves all of the above.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
@@ -26,11 +34,15 @@ from repro.pipeline import SimStats
 from repro.exec.jobs import JobSpec, stats_from_dict, stats_to_dict
 
 #: Salt mixed into every cache path.  Bump on any change to the simulator
-#: that alters results for an unchanged JobSpec.
-CODE_VERSION = "1"
+#: that alters results for an unchanged JobSpec, or to the blob format.
+#: ("2": blobs gained the sha256 payload checksum.)
+CODE_VERSION = "2"
 
 #: Environment variable overriding the default cache root.
 CACHE_ENV = "REPRO_BEBOP_CACHE"
+
+#: Subdirectory (under the version dir) quarantined corrupt blobs go to.
+QUARANTINE_DIR = "corrupt"
 
 
 def default_cache_root() -> Path:
@@ -40,13 +52,27 @@ def default_cache_root() -> Path:
     return Path.home() / ".cache" / "repro-bebop"
 
 
+def payload_checksum(payload: dict) -> str:
+    """sha256 over the canonical JSON of a ``{"spec", "stats"}`` payload.
+
+    The same canonicalisation (sorted keys, tight separators) is used by
+    the result cache and the run journal, so a record can be verified by
+    whichever layer reads it back.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 class ResultCache:
     """JSON-blob store consulted before dispatch, written after completion.
 
-    Counters (``hits`` / ``misses`` / ``stores`` / ``evictions``) cover the
-    lifetime of this instance; :meth:`summary` renders them for reports.
-    ``max_entries`` bounds the version directory — oldest blobs (by mtime)
-    are evicted once the bound is exceeded.
+    Counters (``hits`` / ``misses`` / ``stores`` / ``evictions`` /
+    ``corrupt``) cover the lifetime of this instance; :meth:`summary`
+    renders them for reports.  ``max_entries`` bounds the version
+    directory — oldest blobs (by mtime) are evicted once the bound is
+    exceeded.  ``chaos`` is an optional :class:`repro.chaos.FaultPlan`
+    that may deliberately corrupt blobs right after they are stored
+    (``None``, the default, costs one attribute check).
     """
 
     def __init__(
@@ -54,33 +80,80 @@ class ResultCache:
         root: str | os.PathLike | None = None,
         version: str = CODE_VERSION,
         max_entries: int | None = None,
+        chaos=None,
     ) -> None:
         self.root = Path(root) if root is not None else default_cache_root()
         self.version = version
         self.dir = self.root / f"v{version}"
         self.max_entries = max_entries
+        self.chaos = chaos
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        self.corrupt = 0
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove ``*.tmp<pid>`` litter a crashed writer may have left."""
+        if not self.dir.is_dir():
+            return
+        for path in self.dir.glob("*.tmp*"):
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing writer, fine
+                pass
 
     def _path(self, spec: JobSpec) -> Path:
         return self.dir / f"{spec.digest()}.json"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt blobs are preserved for diagnosis."""
+        return self.dir / QUARANTINE_DIR
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt blob aside (never serve it, never destroy it)."""
+        try:
+            qdir = self.quarantine_dir
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+        except OSError:
+            # Cannot preserve it (e.g. the file vanished or the move
+            # failed): at least make sure it is never read again.
+            path.unlink(missing_ok=True)
+        self.corrupt += 1
+        obs.counter("exec/cache/corrupt").inc()
+
     def get(self, spec: JobSpec) -> SimStats | None:
-        """The cached result of ``spec``, or ``None`` on a miss."""
+        """The cached result of ``spec``, or ``None`` on a miss.
+
+        Integrity is verified end to end: the blob must parse, carry a
+        checksum, and the checksum must match the payload.  Anything less
+        is quarantined and reported as a miss.
+        """
         path = self._path(spec)
         try:
-            with open(path) as f:
-                blob = json.load(f)
-            stats = stats_from_dict(blob["stats"])
+            with open(path, "rb") as f:
+                raw = f.read()
         except FileNotFoundError:
             self.misses += 1
             obs.counter("exec/cache/misses").inc()
             return None
-        except (json.JSONDecodeError, KeyError, TypeError, OSError):
-            # Corrupt or foreign blob: drop it and recompute.
-            path.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - unreadable mount etc.
+            self.misses += 1
+            obs.counter("exec/cache/misses").inc()
+            return None
+        try:
+            blob = json.loads(raw)
+            payload = {"spec": blob["spec"], "stats": blob["stats"]}
+            if blob.get("sha256") != payload_checksum(payload):
+                raise ValueError("payload checksum mismatch")
+            stats = stats_from_dict(blob["stats"])
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
+                TypeError, ValueError):
+            # Corrupt, truncated or foreign blob: quarantine + recompute.
+            self._quarantine(path)
             self.misses += 1
             obs.counter("exec/cache/misses").inc()
             return None
@@ -92,13 +165,21 @@ class ResultCache:
         """Store a finished result (atomic: temp file + rename)."""
         self.dir.mkdir(parents=True, exist_ok=True)
         path = self._path(spec)
-        blob = {"spec": spec.as_dict(), "stats": stats_to_dict(stats)}
+        payload = {"spec": spec.as_dict(), "stats": stats_to_dict(stats)}
+        blob = dict(payload, sha256=payload_checksum(payload))
         tmp = path.with_suffix(f".tmp{os.getpid()}")
-        with open(tmp, "w") as f:
-            json.dump(blob, f)
-        os.replace(tmp, path)
+        try:
+            with open(tmp, "w") as f:
+                json.dump(blob, f)
+            os.replace(tmp, path)
+        finally:
+            # After a successful replace the temp name is gone; this only
+            # fires when serialization or the write itself raised mid-way.
+            tmp.unlink(missing_ok=True)
         self.stores += 1
         obs.counter("exec/cache/stores").inc()
+        if self.chaos is not None:
+            self.chaos.corrupt_blob(path, spec.digest())
         if self.max_entries is not None:
             self.prune(self.max_entries)
 
@@ -130,7 +211,10 @@ class ResultCache:
         return sum(1 for _ in self.dir.glob("*.json"))
 
     def summary(self) -> str:
-        return (
+        text = (
             f"cache {self.dir}: {self.hits} hits, {self.misses} misses, "
             f"{self.stores} stored, {self.evictions} evicted"
         )
+        if self.corrupt:
+            text += f", {self.corrupt} quarantined"
+        return text

@@ -1,7 +1,7 @@
 """Fan-out of experiment cells over worker processes.
 
 The scheduler turns a list of :class:`JobSpec` into a list of
-:class:`SimStats` with three guarantees:
+:class:`SimStats` with four guarantees:
 
 * **Determinism** — results are collected *by submission index*, never by
   completion order, and every cell is a pure function of its spec; the
@@ -15,6 +15,16 @@ The scheduler turns a list of :class:`JobSpec` into a list of
 * **Zero recompute** — when a :class:`ResultCache` is attached, cached
   cells are answered before any worker is spawned and fresh results are
   stored as they complete.
+* **Crash-safe resume** — when a :class:`repro.chaos.RunJournal` is
+  attached, every finished job is journaled (flushed + fsynced) the
+  moment it completes, finished jobs of a previous interrupted run are
+  answered from the journal instead of re-queued, and SIGINT/SIGTERM are
+  trapped to flush the journal and print a resume hint.
+
+A :class:`repro.chaos.FaultPlan` (``chaos=``) injects deterministic worker
+crashes, hangs and transient exceptions through this module's retry
+machinery — the chaos suite uses it to prove the guarantees above hold
+under fire.  Both hooks follow the ``is None`` zero-overhead convention.
 
 The serial path (``jobs=1``) runs in-process with no pickling and is the
 reference semantics; the parallel path exists purely to buy wall-clock.
@@ -28,6 +38,8 @@ from typing import Callable, Sequence
 
 import repro.obs as obs
 from repro.pipeline import SimStats
+from repro.chaos.journal import resume_guard
+from repro.chaos.plan import apply_fault, run_faulted
 from repro.exec.cache import ResultCache
 from repro.exec.jobs import JobSpec, run_job, run_job_observed
 from repro.exec.progress import ProgressMeter
@@ -91,6 +103,15 @@ class Scheduler:
         The cell executor, ``JobSpec -> SimStats``.  Must be a picklable
         top-level callable for the parallel path; tests substitute
         counting/hanging functions here.
+    chaos:
+        Optional :class:`repro.chaos.FaultPlan` injecting deterministic
+        faults into job executions.  A chaos-injected sweep still
+        completes (with bit-identical results) as long as
+        ``retries >= chaos.config.max_faults_per_job``.
+    journal:
+        Optional :class:`repro.chaos.RunJournal`; finished jobs are
+        checkpointed as they complete and previously journaled jobs are
+        not re-run.
     """
 
     def __init__(
@@ -101,6 +122,8 @@ class Scheduler:
         retries: int = 1,
         progress: ProgressMeter | None = None,
         job_fn: Callable[[JobSpec], SimStats] = run_job,
+        chaos=None,
+        journal=None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -112,11 +135,21 @@ class Scheduler:
         self.retries = retries
         self.progress = progress
         self.job_fn = job_fn
+        self.chaos = chaos
+        self.journal = journal
 
     # -- public API -------------------------------------------------------
 
     def run(self, specs: Sequence[JobSpec], label: str = "") -> list[SimStats]:
         """Execute every spec; results are in spec order."""
+        if self.journal is not None:
+            # A journaled sweep flushes + prints a resume hint on Ctrl-C,
+            # SIGTERM, or any error that aborts the batch.
+            with resume_guard(self.journal):
+                return self._run_batch(specs, label)
+        return self._run_batch(specs, label)
+
+    def _run_batch(self, specs: Sequence[JobSpec], label: str) -> list[SimStats]:
         specs = list(specs)
         if self.progress:
             self.progress.start(len(specs), label)
@@ -124,11 +157,21 @@ class Scheduler:
 
         with obs.span("exec/batch", label=label, jobs=self.jobs) as span:
             pending: list[int] = []
+            resumed = 0
             for i, spec in enumerate(specs):
+                if self.journal is not None:
+                    done = self.journal.get(spec)
+                    if done is not None:
+                        results[i] = done
+                        resumed += 1
+                        self._tick(cached=True)
+                        continue
                 # `is not None`: an empty ResultCache is falsy (has __len__).
                 hit = self.cache.get(spec) if self.cache is not None else None
                 if hit is not None:
                     results[i] = hit
+                    if self.journal is not None:
+                        self.journal.record(spec, hit)
                     self._tick(cached=True)
                 else:
                     pending.append(i)
@@ -146,7 +189,8 @@ class Scheduler:
 
             span["total"] = len(specs)
             span["computed"] = len(pending)
-            span["cached"] = len(specs) - len(pending)
+            span["cached"] = len(specs) - len(pending) - resumed
+            span["resumed"] = resumed
 
         if self.progress:
             self.progress.finish()
@@ -162,6 +206,12 @@ class Scheduler:
                 if attempt and observed:
                     obs.counter("exec/job/retries").inc()
                 try:
+                    if self.chaos is not None:
+                        action = self.chaos.job_fault(
+                            specs[i].digest(), serial=True
+                        )
+                        if action is not None:
+                            apply_fault(action)   # raises InjectedFault
                     if observed:
                         t0 = time.perf_counter()
                         results[i] = self.job_fn(specs[i])
@@ -183,7 +233,7 @@ class Scheduler:
                     last = exc
             if last is not None:
                 raise JobError(specs[i], f"failed after retries: {last!r}") from last
-            self._tick()
+            self._complete(i, specs, results)
 
     # -- parallel path ----------------------------------------------------
 
@@ -223,17 +273,26 @@ class Scheduler:
         try:
             for i in order:
                 if observed:
-                    futures[i] = pool.submit(
-                        run_job_observed, self.job_fn, specs[i]
-                    )
+                    target, targs = run_job_observed, (self.job_fn, specs[i])
                 else:
-                    futures[i] = pool.submit(self.job_fn, specs[i])
+                    target, targs = self.job_fn, (specs[i],)
+                if self.chaos is not None:
+                    # The verdict is computed here (parent side, so it is
+                    # independent of worker scheduling) and shipped to the
+                    # worker as plain data.
+                    action = self.chaos.job_fault(specs[i].digest())
+                    if action is not None:
+                        futures[i] = pool.submit(
+                            run_faulted, action, target, *targs
+                        )
+                        continue
+                futures[i] = pool.submit(target, *targs)
             for i in order:
                 try:
                     self._harvest(i, futures[i].result(timeout=self.timeout),
                                   specs, results, observed)
                     done.add(i)
-                    self._tick()
+                    self._complete(i, specs, results)
                 except TimeoutError:
                     # A hung worker: charge the attempt and stop waiting —
                     # the pool is killed below and survivors harvested.
@@ -278,7 +337,7 @@ class Scheduler:
                             self._harvest(i, fut.result(), specs, results,
                                           observed)
                             done.add(i)
-                            self._tick()
+                            self._complete(i, specs, results)
                     except Exception:
                         pass
             if poisoned:
@@ -300,6 +359,19 @@ class Scheduler:
             )
         else:
             results[i] = outcome
+
+    def _complete(self, i, specs, results) -> None:
+        """One job finished for good: checkpoint it, account it, tick.
+
+        The journal append happens *here* — the moment the result exists —
+        not after the batch, so a kill mid-sweep loses at most the job in
+        flight.
+        """
+        if self.journal is not None:
+            self.journal.record(specs[i], results[i])
+        if self.chaos is not None:
+            self.chaos.note_outcome(specs[i].digest())
+        self._tick()
 
     def _tick(self, cached: bool = False) -> None:
         if self.progress:

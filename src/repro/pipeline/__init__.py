@@ -17,6 +17,7 @@ Entry points:
 
 from repro.pipeline.config import (
     BASELINE_6_60,
+    ConfigError,
     CoreConfig,
     baseline_vp_6_60,
     eole_4_60,
@@ -25,6 +26,7 @@ from repro.pipeline.core import PipelineModel
 from repro.pipeline.stats import SimStats
 
 __all__ = [
+    "ConfigError",
     "CoreConfig",
     "BASELINE_6_60",
     "baseline_vp_6_60",

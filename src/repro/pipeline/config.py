@@ -13,6 +13,42 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from typing import Sequence
+
+
+class ConfigError(ValueError):
+    """One or more invalid configuration fields, reported together.
+
+    Construction-time validation collects *every* violation before
+    raising, so a config with three bad fields produces one error naming
+    all three instead of failing deep inside the pipeline on the first —
+    the message is the fix list, not a scavenger hunt.
+    """
+
+    def __init__(self, name: str, violations: Sequence[str]) -> None:
+        self.config_name = name
+        self.violations = tuple(violations)
+        super().__init__(f"{name}: " + "; ".join(self.violations))
+
+
+def require_positive(violations: list[str], config: object, *fields: str) -> None:
+    """Append a violation for every named field that is not ``> 0``."""
+    for field in fields:
+        value = getattr(config, field)
+        if value <= 0:
+            violations.append(f"{field} must be positive, got {value}")
+
+
+def require_power_of_two(violations: list[str], config: object, *fields: str) -> None:
+    """Append a violation for every named field that is not a power of two.
+
+    Non-positive values are reported by :func:`require_positive`; this
+    only flags positive non-powers so one bad field yields one message.
+    """
+    for field in fields:
+        value = getattr(config, field)
+        if value > 0 and value & (value - 1):
+            violations.append(f"{field} must be a power of two, got {value}")
 
 
 @dataclass(frozen=True)
@@ -52,6 +88,31 @@ class CoreConfig:
     free_load_immediates: bool = True   # §II-B3
     # Branch handling.
     btb_entries: int = 8192
+
+    def __post_init__(self) -> None:
+        """Reject impossible cores at construction, listing every problem.
+
+        A zero-width or zero-capacity resource would not fail here — it
+        would deadlock or divide-by-zero thousands of cycles into a
+        simulation; a non-power-of-two block size would silently corrupt
+        every PC-indexed structure.  All violations are raised together as
+        one :class:`ConfigError`.
+        """
+        violations: list[str] = []
+        require_positive(
+            violations, self,
+            "fetch_blocks_per_cycle", "fetch_block_bytes", "decode_width",
+            "front_end_depth", "back_end_depth", "fetch_queue_uops",
+            "rob_size", "iq_size", "lq_size", "sq_size",
+            "issue_width", "commit_width",
+            "alu_count", "muldiv_count", "fp_count", "fpmuldiv_count",
+            "load_ports", "store_ports", "div_latency", "fpdiv_latency",
+            "btb_entries",
+        )
+        require_power_of_two(violations, self, "fetch_block_bytes",
+                             "btb_entries")
+        if violations:
+            raise ConfigError(self.name, violations)
 
     def with_(self, **changes: object) -> "CoreConfig":
         """A modified copy (configs are frozen)."""

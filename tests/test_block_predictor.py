@@ -35,6 +35,25 @@ class TestConfig:
         with pytest.raises(ValueError):
             BlockDVTAGEConfig(npred=0)
 
+    def test_validation_reports_every_violation_at_once(self):
+        from repro.pipeline import ConfigError
+
+        with pytest.raises(ConfigError) as info:
+            BlockDVTAGEConfig(npred=0, base_entries=1000, stride_bits=65)
+        err = info.value
+        assert err.config_name == "BlockDVTAGEConfig"
+        assert len(err.violations) == 3
+        text = str(err)
+        assert "npred must be positive, got 0" in text
+        assert "base_entries must be a power of two, got 1000" in text
+        assert "stride_bits" in text
+
+    def test_validation_checks_history_bounds(self):
+        from repro.pipeline import ConfigError
+
+        with pytest.raises(ConfigError, match="min_history"):
+            BlockDVTAGEConfig(min_history=64, max_history=8)
+
 
 class TestReadUpdate:
     def test_cold_read_misses(self):

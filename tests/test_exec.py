@@ -1,6 +1,7 @@
 """Tests for the repro.exec subsystem (jobs, scheduler, cache, progress)."""
 
 import io
+import os
 import time
 
 import pytest
@@ -57,6 +58,27 @@ def _raising_job(spec: JobSpec) -> SimStats:
 def _mcf_hangs_job(spec: JobSpec) -> SimStats:
     if spec.workload == "mcf":
         time.sleep(300)
+    return _fake_job(spec)
+
+
+def _crash_once_job(spec: JobSpec) -> SimStats:
+    """Dies hard on the first execution per spec, then succeeds.
+
+    Worker processes are forked per pool, so the only cross-attempt state
+    available is the filesystem: a flag file under $REPRO_TEST_CRASH_DIR
+    marks specs that already took their crash.
+    """
+    flag = os.path.join(os.environ["REPRO_TEST_CRASH_DIR"], spec.digest())
+    if not os.path.exists(flag):
+        open(flag, "w").close()
+        os._exit(86)
+    return _fake_job(spec)
+
+
+def _crash_in_worker_job(spec: JobSpec) -> SimStats:
+    """Always dies in a pool worker; succeeds only in the parent process."""
+    if os.getpid() != int(os.environ["REPRO_TEST_PARENT_PID"]):
+        os._exit(86)
     return _fake_job(spec)
 
 
@@ -249,6 +271,97 @@ class TestScheduler:
             Scheduler(jobs=0)
         with pytest.raises(ValueError):
             Scheduler(retries=-1)
+
+
+class TestSchedulerDegradedPaths:
+    """A pool that dies must not take the sweep down with it."""
+
+    def test_broken_pool_is_rebuilt_and_sweep_completes(self, tmp_path,
+                                                        monkeypatch):
+        """One-shot worker crashes break the pool; the rebuilt pool (with
+        the crashes already taken) finishes with correct results."""
+        monkeypatch.setenv("REPRO_TEST_CRASH_DIR", str(tmp_path))
+        specs = [baseline_job(w, 2000, 0) for w in ("swim", "mcf")]
+        expected = [_fake_job(s) for s in specs]
+        out = Scheduler(jobs=2, job_fn=_crash_once_job).run(specs)
+        assert out == expected
+
+    def test_repeated_pool_death_falls_back_to_serial(self, monkeypatch):
+        """Workers that always die exhaust MAX_POOL_FAILURES; the sweep
+        finishes deterministically in the parent process."""
+        monkeypatch.setenv("REPRO_TEST_PARENT_PID", str(os.getpid()))
+        specs = [baseline_job(w, 2000, 0) for w in ("swim", "mcf", "gcc")]
+        expected = [_fake_job(s) for s in specs]
+        out = Scheduler(jobs=2, job_fn=_crash_in_worker_job).run(specs)
+        assert out == expected
+
+    def test_kill_pool_degrades_without_private_process_table(self):
+        """_kill_pool leans on the executor's private _processes dict; a
+        stdlib that drops it must still get a non-waiting shutdown."""
+        from repro.exec.scheduler import _kill_pool
+
+        calls = []
+
+        class _StubPool:
+            def shutdown(self, wait=True, cancel_futures=False):
+                calls.append((wait, cancel_futures))
+
+        _kill_pool(_StubPool())
+        assert calls == [(False, True)]
+
+    def test_kill_pool_terminates_workers_first(self):
+        from repro.exec.scheduler import _kill_pool
+
+        events = []
+
+        class _StubProc:
+            def terminate(self):
+                events.append("terminate")
+
+        class _StubPool:
+            _processes = {0: _StubProc(), 1: _StubProc()}
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                events.append(("shutdown", wait))
+
+        _kill_pool(_StubPool())
+        assert events == ["terminate", "terminate", ("shutdown", False)]
+
+
+class TestCachePutRobustness:
+    def test_failed_write_leaves_no_tmp_file(self, tmp_path, monkeypatch):
+        """Serialization dying mid-put must not litter the cache dir or
+        leave a half-written blob (the bug: tmp files leaked forever)."""
+        import repro.exec.cache as cache_mod
+
+        cache = ResultCache(root=tmp_path)
+        spec = baseline_job("swim", 2000, 500)
+
+        def exploding_dump(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(cache_mod.json, "dump", exploding_dump)
+        with pytest.raises(OSError):
+            cache.put(spec, _fake_job(spec))
+        monkeypatch.undo()
+
+        assert list(cache.dir.glob("*.tmp*")) == []
+        assert cache.get(spec) is None           # no half-written blob
+        cache.put(spec, _fake_job(spec))         # and the cache still works
+        assert cache.get(spec) == _fake_job(spec)
+
+    def test_stale_tmp_litter_is_swept_on_init(self, tmp_path):
+        """Leftovers of a writer killed before the fix (or mid-rename) are
+        removed the next time the cache is opened."""
+        cache = ResultCache(root=tmp_path)
+        spec = baseline_job("swim", 2000, 500)
+        cache.put(spec, _fake_job(spec))
+        stale = cache.dir / "deadbeef.tmp12345"
+        stale.write_text("half a blob")
+
+        again = ResultCache(root=tmp_path)
+        assert not stale.exists()
+        assert again.get(spec) == _fake_job(spec)  # real blobs untouched
 
 
 class TestWarmCacheReport:

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.pipeline.config import BASELINE_6_60, baseline_vp_6_60, eole_4_60
+from repro.pipeline.config import (
+    BASELINE_6_60,
+    ConfigError,
+    baseline_vp_6_60,
+    eole_4_60,
+)
 from repro.pipeline.stats import SimStats, gmean, speedup
 
 
@@ -87,6 +92,45 @@ class TestCoreConfig:
     def test_frozen(self):
         with pytest.raises(Exception):
             BASELINE_6_60.issue_width = 1  # type: ignore[misc]
+
+
+class TestCoreConfigValidation:
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ConfigError, match="issue_width must be positive"):
+            BASELINE_6_60.with_(issue_width=0)
+
+    def test_rejects_nonpositive_structure_sizes(self):
+        for field in ("rob_size", "iq_size", "lq_size", "sq_size"):
+            with pytest.raises(ConfigError, match=f"{field} must be positive"):
+                BASELINE_6_60.with_(**{field: -1})
+
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ConfigError, match="power of two"):
+            BASELINE_6_60.with_(fetch_block_bytes=12)
+
+    def test_reports_every_violation_at_once(self):
+        """One ConfigError listing ALL violations, not just the first."""
+        with pytest.raises(ConfigError) as info:
+            BASELINE_6_60.with_(rob_size=-1, issue_width=0,
+                                fetch_block_bytes=12)
+        err = info.value
+        assert err.config_name == BASELINE_6_60.name
+        assert len(err.violations) == 3
+        text = str(err)
+        assert "rob_size must be positive, got -1" in text
+        assert "issue_width must be positive, got 0" in text
+        assert "fetch_block_bytes must be a power of two, got 12" in text
+
+    def test_is_a_value_error(self):
+        """Callers that catch ValueError keep working."""
+        with pytest.raises(ValueError):
+            BASELINE_6_60.with_(decode_width=0)
+
+    def test_nonpositive_power_of_two_reported_once(self):
+        """A zero block size is one violation (positivity), not two."""
+        with pytest.raises(ConfigError) as info:
+            BASELINE_6_60.with_(fetch_block_bytes=0)
+        assert len(info.value.violations) == 1
 
 
 class TestExtraIsTestOnly:
