@@ -35,6 +35,12 @@ transient exceptions, cache-blob corruption — to rehearse the recovery
 machinery; results are unchanged as long as the default retry budget
 covers ``max_faults`` (it does).
 
+With ``--server-url URL`` no cell is computed locally at all: every sweep
+is submitted to a running sweep server (``python -m repro.serve``), which
+answers cached digests instantly and schedules the rest on its own pool.
+Results are verified (payload checksum + digest) and bit-identical to a
+local run, so reports come out byte-identical too.
+
 Run:  python examples/run_experiments.py [--quick] [--jobs N] [--no-cache]
                                          [--skip ID ...] [--out report.txt]
                                          [--obs] [--obs-out trace.jsonl]
@@ -108,6 +114,11 @@ def main() -> int:
                              "corrupt=0.1,seed=7' (keys: crash, hang, "
                              "exception, corrupt, seed, hang_seconds, "
                              "max_faults)")
+    parser.add_argument("--server-url", default=None, metavar="URL",
+                        help="execute every sweep against a running sweep "
+                             "server (python -m repro.serve) instead of "
+                             "locally; incompatible with --jobs/--chaos/"
+                             "--resume/--cache-dir/--no-cache")
     args = parser.parse_args()
     if args.obs_out or args.timeline:
         args.obs = True
@@ -122,36 +133,61 @@ def main() -> int:
     if args.obs:
         obs.enable()
 
+    client = None
     chaos = None
-    if args.chaos:
-        from repro.chaos import FaultPlan, parse_chaos_spec
+    journal = None
+    cache = None
+    progress = repro.exec.ProgressMeter()
+    if args.server_url:
+        for flag, conflicting in (("--jobs", args.jobs != 1),
+                                  ("--chaos", bool(args.chaos)),
+                                  ("--resume", bool(args.resume)),
+                                  ("--cache-dir", bool(args.cache_dir)),
+                                  ("--no-cache", args.no_cache)):
+            if conflicting:
+                parser.error(f"{flag} configures local execution and "
+                             f"cannot be combined with --server-url "
+                             f"(those knobs belong to the server)")
+        from repro.serve import RemoteScheduler, ServeClient
         try:
-            config = parse_chaos_spec(args.chaos)
+            client = ServeClient(args.server_url)
+            health = client.health()
         except ValueError as exc:
             parser.error(str(exc))
-        chaos = FaultPlan(config)
-        print(f"[exec] chaos enabled: {config}")
+        except Exception as exc:
+            parser.error(f"no sweep server at {args.server_url}: {exc}")
+        print(f"[serve] using server at {args.server_url} "
+              f"(code version {health['code_version']}, "
+              f"{health['jobs']} server worker(s))")
+        repro.exec.install_scheduler(
+            RemoteScheduler(client, progress=progress))
+    else:
+        if args.chaos:
+            from repro.chaos import FaultPlan, parse_chaos_spec
+            try:
+                config = parse_chaos_spec(args.chaos)
+            except ValueError as exc:
+                parser.error(str(exc))
+            chaos = FaultPlan(config)
+            print(f"[exec] chaos enabled: {config}")
 
-    journal = None
-    if args.resume:
-        from repro.chaos import RunJournal
-        _ensure_parent(args.resume)
-        journal = RunJournal(args.resume)
-        if journal.loaded:
-            print(f"[exec] resuming: {journal.loaded} finished job(s) "
-                  f"loaded from {args.resume}")
-        if journal.skipped_lines:
-            print(f"[exec] journal: {journal.skipped_lines} invalid "
-                  f"line(s) ignored")
+        if args.resume:
+            from repro.chaos import RunJournal
+            _ensure_parent(args.resume)
+            journal = RunJournal(args.resume)
+            if journal.loaded:
+                print(f"[exec] resuming: {journal.loaded} finished job(s) "
+                      f"loaded from {args.resume}")
+            if journal.skipped_lines:
+                print(f"[exec] journal: {journal.skipped_lines} invalid "
+                      f"line(s) ignored")
 
-    cache = None
-    if not args.no_cache:
-        cache = repro.exec.ResultCache(root=args.cache_dir, chaos=chaos)
-    progress = repro.exec.ProgressMeter()
-    retries = max(1, chaos.config.max_faults_per_job) if chaos else 1
-    repro.exec.configure(jobs=args.jobs, cache=cache,
-                         timeout=args.job_timeout, progress=progress,
-                         retries=retries, chaos=chaos, journal=journal)
+        if not args.no_cache:
+            cache = repro.exec.ResultCache(root=args.cache_dir, chaos=chaos)
+        retries = max(1, chaos.config.max_faults_per_job) if chaos else 1
+        repro.exec.configure(jobs=args.jobs, cache=cache,
+                             timeout=args.job_timeout, progress=progress,
+                             retries=retries, chaos=chaos, journal=journal)
 
     if args.quick:
         spec = RunSpec(
@@ -234,7 +270,19 @@ def main() -> int:
             f.write(report + "\n")
         print(f"\nreport written to {args.out}")
 
-    print(f"\n[exec] {args.jobs} worker(s): {progress.summary()}")
+    if client is not None:
+        print(f"\n[serve] client: {progress.summary()}")
+        try:
+            served = client.metrics().get("serve", {})
+            print(f"[serve] server: {served.get('requests', 0)} request(s), "
+                  f"{served.get('hits', 0)} hit(s), "
+                  f"{served.get('misses', 0)} scheduled, "
+                  f"{served.get('dedup', 0)} deduplicated")
+        except Exception as exc:                   # summary only — best effort
+            print(f"[serve] server metrics unavailable: {exc}")
+        client.close()
+    else:
+        print(f"\n[exec] {args.jobs} worker(s): {progress.summary()}")
     if cache is not None:
         print(f"[exec] {cache.summary()}")
     if journal is not None:

@@ -1,0 +1,300 @@
+#!/usr/bin/env python3
+"""Load-generate a sweep server: thousands of concurrent verifying clients.
+
+Spawns (or connects to) a ``python -m repro.serve`` server, pre-warms a
+pool of spec digests, then fires ``--clients`` genuinely concurrent
+asyncio HTTP clients at it — mostly warm digests answered from the
+cache, a sprinkle of cold ones that exercise the schedule-and-dedup
+path.  Every response is *verified*: payload checksum, spec-hashes-to-
+digest, and bit-identity against a direct serial
+:func:`repro.exec.jobs.run_job` of the same spec computed in this
+process.  One wrong payload fails the run (exit 1).
+
+Per-request latency is published through :mod:`repro.obs` as the
+``serve/loadgen/latency_ms`` histogram (power-of-two buckets), and the
+server's hit / miss / in-flight-dedup counters are read back from
+``/v1/metrics``; both land in the JSON summary written to ``--out``.
+
+Run (spawns its own server on an ephemeral port and a temp cache):
+
+    PYTHONPATH=src python examples/serve_loadgen.py --clients 1000
+
+or against an already-running server:
+
+    PYTHONPATH=src python examples/serve_loadgen.py --url localhost:8100
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+import repro.obs as obs
+from repro.exec.jobs import baseline_job, run_job, stats_to_dict
+from repro.serve import ServeClient, protocol
+
+#: Workloads the spec pools cycle through (cheap, always available).
+WORKLOADS = ("swim", "gobmk", "gcc", "mcf")
+
+#: Every Nth client hits a cold digest instead of a warm one.
+COLD_EVERY = 20
+
+
+def build_specs(count: int, uops: int, warmup: int, salt: int):
+    """``count`` distinct cheap JobSpecs (distinct uops ⇒ distinct digests)."""
+    return [
+        baseline_job(WORKLOADS[i % len(WORKLOADS)], uops + 2 * (salt + i),
+                     warmup)
+        for i in range(count)
+    ]
+
+
+async def _http_json(host: str, port: int, method: str, path: str,
+                     doc: dict | None = None, timeout: float = 120.0):
+    """One request on its own connection; returns (status, json_doc)."""
+    last: Exception | None = None
+    for attempt in range(6):  # listen-backlog overflow surfaces as OSError
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            break
+        except OSError as exc:
+            last = exc
+            await asyncio.sleep(0.05 * (attempt + 1))
+    else:
+        raise ConnectionError(f"cannot reach {host}:{port}: {last}")
+    try:
+        body = b"" if doc is None else json.dumps(doc).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("ascii") + body)
+        await writer.drain()
+
+        async def _read():
+            status_line = await reader.readline()
+            status = int(status_line.split()[1])
+            length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                key, _, value = line.decode("latin-1").partition(":")
+                if key.strip().lower() == "content-length":
+                    length = int(value)
+            raw = await reader.readexactly(length)
+            return status, json.loads(raw)
+
+        return await asyncio.wait_for(_read(), timeout)
+    finally:
+        writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()
+
+
+async def one_client(i: int, host: str, port: int, spec, expected: dict,
+                     latency: "obs.registry.Histogram", samples: list,
+                     tally: dict) -> None:
+    """Submit one spec, verify the result end to end, record latency."""
+    digest = spec.digest()
+    t0 = time.perf_counter()
+    try:
+        status, doc = await _http_json(
+            host, port, "POST", protocol.ROUTE_SUBMIT,
+            protocol.encode_submit(spec),
+        )
+        ms = (time.perf_counter() - t0) * 1000.0
+        if status != 200:
+            tally["errors"] += 1
+            return
+        _, stats, source = protocol.decode_result(doc, expect_digest=digest)
+        if stats_to_dict(stats) != expected[digest]:
+            tally["wrong_payloads"] += 1
+            return
+        latency.observe(ms)
+        samples.append(ms)
+        tally[source] = tally.get(source, 0) + 1
+    except protocol.ProtocolError:
+        tally["wrong_payloads"] += 1
+    except Exception:
+        tally["errors"] += 1
+
+
+def percentile(sorted_samples: list, q: float) -> float:
+    if not sorted_samples:
+        return 0.0
+    k = min(len(sorted_samples) - 1, int(q * len(sorted_samples)))
+    return sorted_samples[k]
+
+
+def spawn_server(jobs: int, cache_dir: str) -> tuple[subprocess.Popen, str]:
+    """Start ``python -m repro.serve`` on an ephemeral port; return its URL."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", "0",
+         "--jobs", str(jobs), "--cache-dir", cache_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env,
+    )
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line and proc.poll() is not None:
+            raise RuntimeError(f"server died at startup (rc={proc.returncode})")
+        if "listening on" in line:
+            url = line.split("listening on", 1)[1].split()[0]
+            return proc, url
+    proc.terminate()
+    raise RuntimeError("server did not report its address within 30s")
+
+
+async def run_load(args, host: str, port: int, warm, cold, expected) -> dict:
+    latency = obs.histogram("serve/loadgen/latency_ms")
+    samples: list[float] = []
+    tally = {"errors": 0, "wrong_payloads": 0}
+    # Deterministic warm/cold assignment: every COLD_EVERY-th client takes
+    # the next cold digest; everyone else cycles the warm pool.
+    picks = [
+        cold[(i // COLD_EVERY) % len(cold)] if i % COLD_EVERY == 0
+        else warm[i % len(warm)]
+        for i in range(args.clients)
+    ]
+    t0 = time.perf_counter()
+    await asyncio.gather(*(
+        one_client(i, host, port, spec, expected, latency, samples, tally)
+        for i, spec in enumerate(picks)
+    ))
+    elapsed = time.perf_counter() - t0
+
+    samples.sort()
+    snapshot = obs.registry().snapshot()
+    histogram = {
+        key.rsplit("/", 1)[-1]: int(value)
+        for key, value in snapshot.items()
+        if key.startswith("serve/loadgen/latency_ms/bucket/")
+    }
+    return {
+        "clients": args.clients,
+        "distinct_warm": len(warm),
+        "distinct_cold": len(cold),
+        "elapsed_s": round(elapsed, 3),
+        "throughput_rps": round(args.clients / elapsed, 1) if elapsed else 0.0,
+        "ok": args.clients - tally["errors"] - tally["wrong_payloads"],
+        "errors": tally["errors"],
+        "wrong_payloads": tally["wrong_payloads"],
+        "sources": {s: tally.get(s, 0) for s in protocol.SOURCES},
+        "latency_ms": {
+            "count": len(samples),
+            "mean": round(sum(samples) / len(samples), 3) if samples else 0.0,
+            "p50": round(percentile(samples, 0.50), 3),
+            "p90": round(percentile(samples, 0.90), 3),
+            "p99": round(percentile(samples, 0.99), 3),
+            "max": round(samples[-1], 3) if samples else 0.0,
+            "histogram": histogram,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--url", default=None,
+                        help="attack a running server instead of spawning one")
+    parser.add_argument("--clients", type=int, default=1000,
+                        help="concurrent clients to fire (default 1000)")
+    parser.add_argument("--warm", type=int, default=16,
+                        help="distinct pre-warmed digests (default 16)")
+    parser.add_argument("--cold", type=int, default=4,
+                        help="distinct cold digests (default 4)")
+    parser.add_argument("--uops", type=int, default=2_000,
+                        help="trace length of the generated specs")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="workers for a spawned server (default 2)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the JSON summary here as well")
+    args = parser.parse_args(argv)
+    if args.clients < 1:
+        parser.error("--clients must be >= 1")
+
+    obs.enable()
+    warmup = args.uops // 4
+    warm = build_specs(args.warm, args.uops, warmup, salt=0)
+    cold = build_specs(args.cold, args.uops, warmup, salt=10_000)
+
+    print(f"[loadgen] computing expected stats for "
+          f"{len(warm) + len(cold)} distinct spec(s) locally ...", flush=True)
+    expected = {
+        spec.digest(): stats_to_dict(run_job(spec)) for spec in warm + cold
+    }
+
+    proc = None
+    tmp = None
+    try:
+        if args.url:
+            url = args.url
+        else:
+            tmp = tempfile.mkdtemp(prefix="serve-loadgen-")
+            proc, url = spawn_server(args.jobs, tmp)
+            print(f"[loadgen] spawned server at {url} (cache {tmp})",
+                  flush=True)
+        client = ServeClient(url)
+        health = client.health()
+        host, port = client.host, client.port
+        print(f"[loadgen] server healthy (code version "
+              f"{health['code_version']}); pre-warming {len(warm)} "
+              f"digest(s) ...", flush=True)
+        for stats, _ in client.sweep_with_sources(warm):
+            pass  # results verified by the client; cache is now warm
+
+        print(f"[loadgen] firing {args.clients} concurrent client(s) "
+              f"({100 // COLD_EVERY}% cold) ...", flush=True)
+        summary = asyncio.run(run_load(args, host, port, warm, cold, expected))
+        summary["server"] = client.metrics().get("serve", {})
+        client.close()
+    finally:
+        if proc is not None:
+            proc.terminate()
+            with contextlib.suppress(subprocess.TimeoutExpired):
+                proc.wait(timeout=10)
+        if tmp is not None:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    print(json.dumps(summary, indent=2))
+    if args.out:
+        parent = os.path.dirname(args.out)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.out, "w") as f:
+            json.dump(summary, f, indent=2)
+            f.write("\n")
+        print(f"[loadgen] summary written to {args.out}")
+
+    bad = summary["wrong_payloads"]
+    lat = summary["latency_ms"]
+    print(f"[loadgen] {summary['ok']}/{args.clients} verified ok, "
+          f"{bad} wrong payload(s), {summary['errors']} error(s); "
+          f"p50 {lat['p50']:.1f}ms p99 {lat['p99']:.1f}ms "
+          f"max {lat['max']:.1f}ms")
+    if bad or summary["errors"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

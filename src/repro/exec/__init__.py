@@ -33,6 +33,7 @@ from typing import Sequence
 from repro.pipeline import SimStats
 from repro.exec.cache import (
     CACHE_ENV,
+    CACHE_ENV_SHARED,
     CODE_VERSION,
     ResultCache,
     default_cache_root,
@@ -88,6 +89,20 @@ def current_scheduler() -> Scheduler:
     return _default_scheduler
 
 
+def install_scheduler(scheduler):
+    """Install an already-built scheduler-like object as the default.
+
+    Anything with the :class:`Scheduler` duck type works — in particular a
+    :class:`repro.serve.RemoteScheduler`, which executes sweeps against a
+    sweep server over HTTP instead of a local process pool.  It must offer
+    ``run(specs, label=...)`` plus the ``jobs`` / ``cache`` / ``journal``
+    attributes the experiment metadata reads.
+    """
+    global _default_scheduler
+    _default_scheduler = scheduler
+    return scheduler
+
+
 def reset() -> None:
     """Back to the serial, uncached default (tests use this)."""
     global _default_scheduler
@@ -101,6 +116,7 @@ def run_specs(specs: Sequence[JobSpec], label: str = "") -> list[SimStats]:
 
 __all__ = [
     "CACHE_ENV",
+    "CACHE_ENV_SHARED",
     "CODE_VERSION",
     "JobError",
     "JobSpec",
@@ -113,6 +129,7 @@ __all__ = [
     "configure",
     "current_scheduler",
     "default_cache_root",
+    "install_scheduler",
     "instr_vp_job",
     "payload_checksum",
     "reset",

@@ -20,6 +20,15 @@ subdirectory — never silently deleted — so corruption stays diagnosable
 (``exec/cache/corrupt`` counts each quarantine).  The optional ``chaos``
 hook lets a :class:`repro.chaos.FaultPlan` corrupt freshly written blobs
 on purpose, which is how the chaos suite proves all of the above.
+
+The store is built to be **shared**: blobs are sharded into 256
+subdirectories by the first two hex digits of their digest (so thousands
+of concurrent :mod:`repro.serve` clients never contend on one flat
+directory), legacy flat blobs are migrated into their shards the first
+time a cache is opened on an old root, and every maintenance scan
+(:meth:`prune`, :meth:`clear`, the stale-tmp sweep) tolerates entries
+vanishing underneath it — another process pruning the same root is
+ordinary operation, not an error.
 """
 
 from __future__ import annotations
@@ -41,14 +50,34 @@ CODE_VERSION = "2"
 #: Environment variable overriding the default cache root.
 CACHE_ENV = "REPRO_BEBOP_CACHE"
 
+#: Generic shared-root override: lets a :mod:`repro.serve` server and its
+#: CLI clients point at one cache root without threading ``--cache-dir``
+#: through every entry point.  Consulted after :data:`CACHE_ENV`.
+CACHE_ENV_SHARED = "REPRO_CACHE_DIR"
+
 #: Subdirectory (under the version dir) quarantined corrupt blobs go to.
 QUARANTINE_DIR = "corrupt"
 
+#: Blobs are sharded by this many leading hex digits of the digest.
+SHARD_CHARS = 2
+
+#: Glob matching blob paths across every shard directory.
+_SHARD_GLOB = "[0-9a-f]" * SHARD_CHARS + "/*.json"
+
 
 def default_cache_root() -> Path:
-    env = os.environ.get(CACHE_ENV)
-    if env:
-        return Path(env)
+    """The cache root, resolved with documented precedence.
+
+    1. an explicit ``root=`` argument (the caller never reaches here);
+    2. ``$REPRO_BEBOP_CACHE`` — the project-specific override;
+    3. ``$REPRO_CACHE_DIR`` — the generic shared-root override, meant for
+       pointing a sweep server and many CLI clients at one root;
+    4. ``~/.cache/repro-bebop``.
+    """
+    for env in (CACHE_ENV, CACHE_ENV_SHARED):
+        value = os.environ.get(env)
+        if value:
+            return Path(value)
     return Path.home() / ".cache" / "repro-bebop"
 
 
@@ -92,20 +121,46 @@ class ResultCache:
         self.stores = 0
         self.evictions = 0
         self.corrupt = 0
+        self._migrate_flat_blobs()
         self._sweep_stale_tmp()
+
+    def _migrate_flat_blobs(self) -> None:
+        """Move legacy flat ``<digest>.json`` blobs into their shards.
+
+        Caches written before sharding kept every blob directly under the
+        version directory; opening such a root migrates them in place
+        (atomic per-blob rename) so old results keep being served.  A
+        concurrent migrator racing on the same root is harmless: whoever
+        renames first wins, the loser's source has simply vanished.
+        """
+        if not self.dir.is_dir():
+            return
+        for path in self.dir.glob("*.json"):
+            shard = self.dir / path.name[:SHARD_CHARS]
+            try:
+                shard.mkdir(parents=True, exist_ok=True)
+                os.replace(path, shard / path.name)
+            except OSError:  # pragma: no cover - racing migrator, fine
+                pass
 
     def _sweep_stale_tmp(self) -> None:
         """Remove ``*.tmp<pid>`` litter a crashed writer may have left."""
         if not self.dir.is_dir():
             return
-        for path in self.dir.glob("*.tmp*"):
-            try:
-                path.unlink()
-            except OSError:  # pragma: no cover - racing writer, fine
-                pass
+        for pattern in ("*.tmp*", "[0-9a-f]" * SHARD_CHARS + "/*.tmp*"):
+            for path in self.dir.glob(pattern):
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - racing writer, fine
+                    pass
 
     def _path(self, spec: JobSpec) -> Path:
-        return self.dir / f"{spec.digest()}.json"
+        digest = spec.digest()
+        return self.dir / digest[:SHARD_CHARS] / f"{digest}.json"
+
+    def _blobs(self):
+        """Every stored blob path, across all shard directories."""
+        return self.dir.glob(_SHARD_GLOB)
 
     @property
     def quarantine_dir(self) -> Path:
@@ -132,7 +187,24 @@ class ResultCache:
         checksum, and the checksum must match the payload.  Anything less
         is quarantined and reported as a miss.
         """
-        path = self._path(spec)
+        blob = self._read_verified(self._path(spec))
+        if blob is None:
+            return None
+        return stats_from_dict(blob["stats"])
+
+    def get_blob(self, digest: str) -> dict | None:
+        """The verified ``{"spec", "stats", "sha256"}`` blob of a digest.
+
+        The digest-keyed twin of :meth:`get`, for callers — the
+        :mod:`repro.serve` result route — that hold only the content
+        address, not the spec.  Counts hits/misses exactly like
+        :meth:`get`.
+        """
+        return self._read_verified(self.dir / digest[:SHARD_CHARS]
+                                   / f"{digest}.json")
+
+    def _read_verified(self, path: Path) -> dict | None:
+        """Read + integrity-check one blob; quarantine anything broken."""
         try:
             with open(path, "rb") as f:
                 raw = f.read()
@@ -149,7 +221,7 @@ class ResultCache:
             payload = {"spec": blob["spec"], "stats": blob["stats"]}
             if blob.get("sha256") != payload_checksum(payload):
                 raise ValueError("payload checksum mismatch")
-            stats = stats_from_dict(blob["stats"])
+            stats_from_dict(blob["stats"])
         except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
                 TypeError, ValueError):
             # Corrupt, truncated or foreign blob: quarantine + recompute.
@@ -159,12 +231,12 @@ class ResultCache:
             return None
         self.hits += 1
         obs.counter("exec/cache/hits").inc()
-        return stats
+        return blob
 
     def put(self, spec: JobSpec, stats: SimStats) -> None:
         """Store a finished result (atomic: temp file + rename)."""
-        self.dir.mkdir(parents=True, exist_ok=True)
         path = self._path(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"spec": spec.as_dict(), "stats": stats_to_dict(stats)}
         blob = dict(payload, sha256=payload_checksum(payload))
         tmp = path.with_suffix(f".tmp{os.getpid()}")
@@ -184,12 +256,25 @@ class ResultCache:
             self.prune(self.max_entries)
 
     def prune(self, max_entries: int) -> int:
-        """Evict oldest blobs until at most ``max_entries`` remain."""
-        blobs = sorted(self.dir.glob("*.json"),
-                       key=lambda p: (p.stat().st_mtime, p.name))
+        """Evict oldest blobs until at most ``max_entries`` remain.
+
+        Tolerates concurrent deleters (another client pruning the same
+        shared root): a blob that vanishes between the scan and the stat
+        or unlink simply does not count as one of *our* evictions.
+        """
+        blobs = []
+        for path in self._blobs():
+            try:
+                blobs.append((path.stat().st_mtime, path.name, path))
+            except FileNotFoundError:
+                continue
+        blobs.sort()
         evicted = 0
-        for path in blobs[: max(0, len(blobs) - max_entries)]:
-            path.unlink(missing_ok=True)
+        for _, _, path in blobs[: max(0, len(blobs) - max_entries)]:
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue
             evicted += 1
         self.evictions += evicted
         if evicted:
@@ -197,18 +282,25 @@ class ResultCache:
         return evicted
 
     def clear(self) -> int:
-        """Remove every blob of this cache's version; returns the count."""
+        """Remove every blob of this cache's version; returns the count.
+
+        Like :meth:`prune`, entries deleted underneath us by a concurrent
+        client are skipped, not fatal.
+        """
         removed = 0
         if self.dir.is_dir():
-            for path in self.dir.glob("*.json"):
-                path.unlink(missing_ok=True)
+            for path in self._blobs():
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    continue
                 removed += 1
         return removed
 
     def __len__(self) -> int:
         if not self.dir.is_dir():
             return 0
-        return sum(1 for _ in self.dir.glob("*.json"))
+        return sum(1 for _ in self._blobs())
 
     def summary(self) -> str:
         text = (

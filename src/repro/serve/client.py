@@ -1,0 +1,232 @@
+"""Blocking HTTP client for the sweep-result service.
+
+:class:`ServeClient` speaks the :mod:`repro.serve.protocol` documents over
+a keep-alive ``http.client`` connection and *verifies everything it
+receives*: every result's payload checksum must match, the echoed spec
+must hash to its digest, and the digest must be the one requested —
+:class:`~repro.serve.protocol.ProtocolError` otherwise.  A verified
+response is therefore bit-identical to what ``ResultCache.get`` would
+have returned on the server's own disk.
+
+:class:`RemoteScheduler` adapts a client to the
+:class:`repro.exec.Scheduler` duck type, so the whole experiment layer
+can execute against a server with one line::
+
+    repro.exec.install_scheduler(RemoteScheduler(ServeClient(url)))
+
+(that is what ``examples/run_experiments.py --server-url`` does).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import urllib.parse
+from typing import Iterator, Sequence
+
+from repro.exec.jobs import JobSpec
+from repro.exec.progress import ProgressMeter
+from repro.pipeline import SimStats
+from repro.serve import protocol
+
+
+class ServerError(RuntimeError):
+    """The server answered with an error document."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """One keep-alive connection to a sweep server.
+
+    Not thread-safe (one in-flight request per instance, like the
+    underlying ``http.client`` connection); spin up one client per
+    thread.  ``timeout`` bounds each socket operation — sweeps that
+    compute cold cells server-side can legitimately take a while, so the
+    default is generous.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 600.0) -> None:
+        # "localhost:8123" would parse as scheme "localhost"; a schemeless
+        # address is common enough on the CLI to normalise rather than
+        # reject.
+        if "://" not in base_url:
+            base_url = "http://" + base_url
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme != "http":
+            raise ValueError(f"only http:// served, got {base_url!r}")
+        netloc = parsed.netloc  # "host:port"
+        host, _, port = netloc.partition(":")
+        if not host:
+            raise ValueError(f"no host in server url {base_url!r}")
+        self.host = host
+        self.port = int(port) if port else 80
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str,
+                 body: dict | None = None) -> dict:
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if payload else {}
+        # A keep-alive connection the server has since closed surfaces as
+        # a broken pipe / bad status on the *next* request; one reconnect
+        # retry is part of speaking HTTP/1.1, not error handling.
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError,
+                    BrokenPipeError, socket.timeout, OSError):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            doc = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise protocol.ProtocolError(
+                f"non-JSON response (HTTP {response.status})", status=502
+            ) from exc
+        if response.status != 200:
+            raise ServerError(response.status, protocol.error_message(doc))
+        return doc
+
+    # -- the service API ---------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> SimStats:
+        """Submit one cell; blocks until its verified result arrives."""
+        return self.submit_with_source(spec)[0]
+
+    def submit_with_source(self, spec: JobSpec) -> tuple[SimStats, str]:
+        """Like :meth:`submit`, also reporting cache/inflight/computed."""
+        doc = self._request("POST", protocol.ROUTE_SUBMIT,
+                            protocol.encode_submit(spec))
+        _, stats, source = protocol.decode_result(
+            doc, expect_digest=spec.digest()
+        )
+        return stats, source
+
+    def sweep(self, specs: Sequence[JobSpec]) -> list[SimStats]:
+        """Submit a batch; verified results come back in request order."""
+        return [stats for stats, _ in self.sweep_with_sources(specs)]
+
+    def sweep_with_sources(
+        self, specs: Sequence[JobSpec]
+    ) -> list[tuple[SimStats, str]]:
+        specs = list(specs)
+        doc = self._request("POST", protocol.ROUTE_SWEEP,
+                            protocol.encode_sweep(specs))
+        decoded = protocol.decode_sweep_results(
+            doc, expect=[s.digest() for s in specs]
+        )
+        return [(stats, source) for _, stats, source in decoded]
+
+    def result(self, digest: str) -> SimStats | None:
+        """Cache-only lookup by digest; ``None`` when not cached."""
+        protocol.validate_digest(digest)
+        try:
+            doc = self._request("GET", protocol.ROUTE_RESULT + digest)
+        except ServerError as exc:
+            if exc.status == 404:
+                return None
+            raise
+        _, stats, _ = protocol.decode_result(doc, expect_digest=digest)
+        return stats
+
+    def health(self) -> dict:
+        return self._request("GET", protocol.ROUTE_HEALTH)
+
+    def metrics(self) -> dict:
+        return self._request("GET", protocol.ROUTE_METRICS)
+
+    def progress_events(self, limit: int | None = None,
+                        timeout: float | None = None) -> Iterator[dict]:
+        """Subscribe to the SSE progress stream; yields event dicts.
+
+        Uses a dedicated connection (the stream occupies it until the
+        generator is closed or ``limit`` events have arrived).  Keep-alive
+        comments are filtered out.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=timeout if timeout is not None else self.timeout,
+        )
+        try:
+            conn.request("GET", protocol.ROUTE_PROGRESS)
+            response = conn.getresponse()
+            if response.status != 200:
+                raise ServerError(response.status, "progress stream refused")
+            seen = 0
+            while limit is None or seen < limit:
+                line = response.fp.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line.startswith(b"data: "):
+                    continue  # heartbeat comment or blank separator
+                yield json.loads(line[len(b"data: "):])
+                seen += 1
+        finally:
+            conn.close()
+
+
+class RemoteScheduler:
+    """A :class:`repro.exec.Scheduler` look-alike that runs over HTTP.
+
+    ``run(specs)`` chunks the batch to the protocol's sweep limit and
+    submits each chunk; the optional progress meter ticks per result,
+    with server-side cache and dedup hits counted as "cached" (the
+    client did no computing for them).  ``jobs`` is 0 — this process
+    owns no workers; the pool lives behind the server.
+    """
+
+    #: Local worker processes (none — computation is remote).
+    jobs = 0
+    #: The experiment-metadata hooks a local scheduler would carry.
+    cache = None
+    journal = None
+
+    def __init__(self, client: ServeClient,
+                 progress: ProgressMeter | None = None) -> None:
+        self.client = client
+        self.progress = progress
+
+    def run(self, specs: Sequence[JobSpec], label: str = "") -> list[SimStats]:
+        specs = list(specs)
+        if self.progress:
+            self.progress.start(len(specs), label)
+        out: list[SimStats] = []
+        for lo in range(0, len(specs), protocol.MAX_SWEEP_SPECS):
+            chunk = specs[lo: lo + protocol.MAX_SWEEP_SPECS]
+            for stats, source in self.client.sweep_with_sources(chunk):
+                out.append(stats)
+                if self.progress:
+                    self.progress.tick(cached=source != "computed")
+        if self.progress:
+            self.progress.finish()
+        return out

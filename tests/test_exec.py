@@ -3,6 +3,7 @@
 import io
 import os
 import time
+from pathlib import Path
 
 import pytest
 
@@ -421,3 +422,120 @@ class TestProgressMeter:
         Scheduler(cache=cache, job_fn=_fake_job).run(specs)
         Scheduler(cache=cache, progress=meter, job_fn=_fake_job).run(specs)
         assert meter.jobs_done == 2 and meter.jobs_cached == 2
+
+
+class _VanishedOnUnlink(type(Path())):
+    """A path whose file exists at scan time but vanishes on unlink —
+    what a concurrent deleter on a shared cache root looks like."""
+
+    def unlink(self, missing_ok=False):
+        raise FileNotFoundError(self)
+
+
+class TestCacheSharding:
+    def test_blobs_live_in_two_hex_shards(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        spec = baseline_job("swim", 2000, 500)
+        cache.put(spec, _fake_job(spec))
+        digest = spec.digest()
+        path = cache.dir / digest[:2] / f"{digest}.json"
+        assert path.is_file()
+        assert list(cache.dir.glob("*.json")) == []   # nothing flat
+        assert len(cache) == 1
+
+    def test_legacy_flat_blobs_migrate_on_open(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        specs = [baseline_job(w, 2000, 500) for w in ("swim", "mcf", "gcc")]
+        for spec in specs:
+            cache.put(spec, _fake_job(spec))
+        # Recreate the pre-sharding layout: blobs flat in the version dir.
+        for path in list(cache._blobs()):
+            os.replace(path, cache.dir / path.name)
+        assert len(list(cache.dir.glob("*.json"))) == 3
+
+        again = ResultCache(root=tmp_path)
+        assert list(again.dir.glob("*.json")) == []   # all migrated
+        assert len(again) == 3
+        for spec in specs:                            # and still served
+            assert again.get(spec) == _fake_job(spec)
+        assert again.hits == 3
+
+    def test_prune_spans_shards_and_len_counts_them(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        specs = [baseline_job("swim", 1000 + i, 0) for i in range(6)]
+        for spec in specs:
+            cache.put(spec, _fake_job(spec))
+        shards = {p.parent.name for p in cache._blobs()}
+        assert len(shards) > 1                        # actually sharded
+        assert len(cache) == 6
+        assert cache.prune(2) == 4
+        assert len(cache) == 2
+
+    def test_clear_spans_shards(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        for i in range(4):
+            spec = baseline_job("swim", 1000 + i, 0)
+            cache.put(spec, _fake_job(spec))
+        assert cache.clear() == 4
+        assert len(cache) == 0
+
+    def test_prune_tolerates_concurrent_deleters(self, tmp_path, monkeypatch):
+        cache = ResultCache(root=tmp_path)
+        for i in range(4):
+            spec = baseline_job("swim", 1000 + i, 0)
+            cache.put(spec, _fake_job(spec))
+        real = sorted(cache._blobs())
+        gone = cache.dir / "00" / ("0" * 64 + ".json")  # never existed
+        racy = _VanishedOnUnlink(real[0])               # vanishes on unlink
+        monkeypatch.setattr(
+            cache, "_blobs", lambda: [gone, racy] + real[1:])
+        # 5 scanned: 1 fails stat, 1 fails unlink — prune keeps going and
+        # counts only what it actually removed.
+        assert cache.prune(0) == 3
+        assert cache.evictions == 3
+
+    def test_clear_tolerates_concurrent_deleters(self, tmp_path, monkeypatch):
+        cache = ResultCache(root=tmp_path)
+        for i in range(3):
+            spec = baseline_job("swim", 1000 + i, 0)
+            cache.put(spec, _fake_job(spec))
+        real = sorted(cache._blobs())
+        racy = _VanishedOnUnlink(real[0])
+        monkeypatch.setattr(cache, "_blobs", lambda: [racy] + real[1:])
+        assert cache.clear() == 2                     # the two still there
+
+    def test_get_blob_is_the_digest_keyed_twin_of_get(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        spec = baseline_job("swim", 2000, 500)
+        assert cache.get_blob(spec.digest()) is None
+        assert cache.misses == 1
+        cache.put(spec, _fake_job(spec))
+        blob = cache.get_blob(spec.digest())
+        assert cache.hits == 1
+        assert JobSpec.from_dict(blob["spec"]) == spec
+        assert stats_from_dict(blob["stats"]) == _fake_job(spec)
+        assert blob["sha256"]                          # verified checksum
+
+
+class TestCacheRootPrecedence:
+    def test_env_precedence_and_fallback(self, tmp_path, monkeypatch):
+        from repro.exec.cache import default_cache_root
+
+        monkeypatch.setenv("REPRO_BEBOP_CACHE", str(tmp_path / "specific"))
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "shared"))
+        assert default_cache_root() == tmp_path / "specific"
+
+        monkeypatch.delenv("REPRO_BEBOP_CACHE")
+        assert default_cache_root() == tmp_path / "shared"
+
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert default_cache_root() == Path.home() / ".cache" / "repro-bebop"
+
+    def test_result_cache_honours_shared_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_BEBOP_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "shared"))
+        cache = ResultCache()
+        assert cache.root == tmp_path / "shared"
+        spec = baseline_job("swim", 2000, 500)
+        cache.put(spec, _fake_job(spec))
+        assert ResultCache().get(spec) == _fake_job(spec)

@@ -1,0 +1,138 @@
+"""Direct unit tests for repro.exec.progress (rendering and accounting).
+
+``test_exec.py`` covers the meter through the scheduler; these tests pin
+the meter itself — line content, TTY vs non-TTY emission policy, zero
+division edges, cached ticks, disabled mode — since :mod:`repro.serve`
+now builds on it (``ServeProgress`` broadcasts these very readings).
+"""
+
+import io
+
+from repro.exec import ProgressMeter
+
+
+class _TTY(io.StringIO):
+    """A capture stream that claims to be a terminal."""
+
+    def isatty(self) -> bool:
+        return True
+
+
+class TestLineRendering:
+    def test_line_shows_done_total_label_and_rate(self):
+        meter = ProgressMeter(stream=io.StringIO())
+        meter.start(4, label="fig5a")
+        meter.tick()
+        line = meter._line()
+        assert line.startswith("[1/4] fig5a")
+        assert "jobs/s" in line
+        assert "cached" not in line              # no cached ticks yet
+
+    def test_cached_ticks_appear_in_line_and_counters(self):
+        meter = ProgressMeter(stream=io.StringIO())
+        meter.start(3)
+        meter.tick(cached=True)
+        meter.tick(cached=True)
+        meter.tick()
+        assert "(2 cached)" in meter._line()
+        assert meter.cached == 2
+        assert meter.jobs_cached == 2
+        assert meter.jobs_done == 3
+
+    def test_tty_rewrites_in_place_and_newlines_only_on_final(self):
+        stream = _TTY()
+        meter = ProgressMeter(stream=stream)
+        meter.start(2)
+        meter.tick()
+        meter.tick()
+        meter.finish()
+        out = stream.getvalue()
+        assert out.count("\r") >= 4              # start + ticks + final
+        assert out.count("\n") == 1              # exactly one, at finish
+        assert "[2/2]" in out
+
+    def test_tty_pads_when_line_shrinks(self):
+        stream = _TTY()
+        meter = ProgressMeter(stream=stream)
+        meter.start(1)
+        meter._last_len = 80                     # as if the previous render
+        meter.tick()                             # ... was 80 columns wide
+        last = stream.getvalue().rsplit("\r", 1)[-1]
+        assert len(last) == 80                   # shorter line blanked it
+
+    def test_tty_final_render_resets_padding_state(self):
+        stream = _TTY()
+        meter = ProgressMeter(stream=stream)
+        meter.start(1, label="a-very-long-sweep-label")
+        meter.tick()
+        meter.finish()
+        assert meter._last_len == 0              # next batch starts clean
+
+    def test_non_tty_emits_only_batch_boundaries(self):
+        stream = io.StringIO()                   # StringIO has no isatty=True
+        meter = ProgressMeter(stream=stream)
+        meter.start(3)
+        for _ in range(3):
+            meter.tick()
+        meter.finish()
+        lines = [l for l in stream.getvalue().splitlines() if l]
+        # One line for the empty batch opening, one final — no per-tick spam.
+        assert len(lines) == 2
+        assert lines[0].startswith("[0/3]")
+        assert lines[-1].startswith("[3/3]")
+
+    def test_disabled_writes_nothing_but_still_counts(self):
+        stream = io.StringIO()
+        meter = ProgressMeter(stream=stream, enabled=False)
+        meter.start(2)
+        meter.tick(cached=True)
+        meter.tick()
+        meter.finish()
+        assert stream.getvalue() == ""
+        assert meter.jobs_done == 2
+        assert meter.jobs_cached == 1
+
+
+class TestThroughputEdges:
+    def test_zero_elapsed_is_zero_not_nan(self, monkeypatch):
+        import repro.exec.progress as progress_mod
+        meter = ProgressMeter(stream=io.StringIO())
+        now = 100.0
+        monkeypatch.setattr(progress_mod.time, "monotonic", lambda: now)
+        meter.start(5)
+        meter.tick()
+        assert meter.throughput == 0.0           # dt == 0, no ZeroDivision
+
+    def test_zero_total_batch_renders_and_finishes(self):
+        stream = io.StringIO()
+        meter = ProgressMeter(stream=stream)
+        meter.start(0, label="empty")
+        dt = meter.finish()
+        assert dt >= 0.0
+        assert "[0/0] empty" in stream.getvalue()
+
+    def test_summary_with_no_elapsed_time(self):
+        meter = ProgressMeter(stream=io.StringIO(), enabled=False)
+        assert meter.summary() == "0 jobs in 0.0s (0.0 jobs/s, 0 from cache)"
+
+    def test_summary_accumulates_across_batches(self):
+        meter = ProgressMeter(stream=io.StringIO(), enabled=False)
+        for _ in range(2):
+            meter.start(2)
+            meter.tick(cached=True)
+            meter.tick()
+            meter.finish()
+        text = meter.summary()
+        assert text.startswith("4 jobs in ")
+        assert text.endswith("2 from cache)")
+
+    def test_finish_returns_batch_wallclock_and_accumulates(self, monkeypatch):
+        import repro.exec.progress as progress_mod
+        clock = iter([10.0, 13.0, 20.0, 24.0])   # start, finish, start, finish
+        monkeypatch.setattr(progress_mod.time, "monotonic", lambda: next(clock))
+        meter = ProgressMeter(stream=io.StringIO(), enabled=False)
+        meter.start(1)
+        assert meter.finish() == 3.0
+        meter.start(1)
+        assert meter.finish() == 4.0
+        assert meter.elapsed == 7.0
