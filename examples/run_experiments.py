@@ -119,6 +119,12 @@ def main() -> int:
                              "server (python -m repro.serve) instead of "
                              "locally; incompatible with --jobs/--chaos/"
                              "--resume/--cache-dir/--no-cache")
+    parser.add_argument("--table-backend", default=None,
+                        choices=("python", "numpy"),
+                        help="predictor table storage backend (default: "
+                             "$REPRO_TABLE_BACKEND or python); results are "
+                             "bit-identical either way, so cached cells "
+                             "computed on one backend satisfy the other")
     args = parser.parse_args()
     if args.obs_out or args.timeline:
         args.obs = True
@@ -129,6 +135,17 @@ def main() -> int:
         parser.error(str(exc))
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+
+    if args.table_backend:
+        from repro.common.tables import set_table_backend
+        try:
+            # Spec builders resolve the global default, so this one call
+            # routes every cell of the run (local or remote) through the
+            # requested backend.
+            set_table_backend(args.table_backend)
+        except ValueError as exc:
+            parser.error(str(exc))
+        print(f"[exec] table backend: {args.table_backend}")
 
     if args.obs:
         obs.enable()

@@ -82,6 +82,9 @@ class BeBoPEngine:
     ) -> tuple[tuple[tuple[int, int], ...], tuple[tuple[int, int], ...]]:
         return self.predictor.fold_geometry()
 
+    def storage_backend(self) -> str:
+        return self.predictor.table_backend
+
     def _provider_counter(self, provider: int):
         m = self._m_providers.get(provider)
         if m is None:

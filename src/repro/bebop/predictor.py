@@ -19,6 +19,12 @@ evolve under the monotonic rule, the provider's per-slot strides/confidence
 train on the retired results, and on any wrong slot a new tagged entry is
 allocated with the provider's confidence counters *propagated* so the
 correct slots of the block keep their coverage.
+
+Table state lives in :mod:`repro.common.tables` banks with *vector*
+fields: the per-slot arrays (last values, byte tags, strides, confidence)
+are ``width == npred`` columns addressed ``entry * npred + slot``, and the
+tagged components share one flat bank addressed
+``comp * tagged_entries + index``.
 """
 
 from __future__ import annotations
@@ -27,11 +33,12 @@ from dataclasses import dataclass
 
 from repro.common.bits import mask, to_signed, to_unsigned
 from repro.common.rng import XorShift64
-from repro.pipeline.config import (
+from repro.common.errors import (
     ConfigError,
     require_positive,
     require_power_of_two,
 )
+from repro.common.tables import Field, make_bank
 from repro.predictors.base import (
     HistoryState,
     table_index,
@@ -65,7 +72,7 @@ class BlockDVTAGEConfig:
 
     def __post_init__(self) -> None:
         """Reject impossible geometries, listing every violation at once
-        (one :class:`~repro.pipeline.config.ConfigError`, same contract
+        (one :class:`~repro.common.errors.ConfigError`, same contract
         as :class:`~repro.pipeline.config.CoreConfig`)."""
         violations: list[str] = []
         require_positive(
@@ -90,30 +97,6 @@ class BlockDVTAGEConfig:
             raise ConfigError("BlockDVTAGEConfig", violations)
 
 
-class _LVTEntry:
-    __slots__ = ("tag", "last", "byte_tags")
-
-    def __init__(self, npred: int) -> None:
-        self.tag = -1
-        self.last = [0] * npred
-        self.byte_tags = [FREE_TAG] * npred
-
-
-class _StrideEntry:
-    """VT0 or tagged-component entry: npred strides + FPC levels."""
-
-    __slots__ = ("tag", "strides", "conf", "useful", "useful_gen")
-
-    def __init__(self, npred: int) -> None:
-        self.tag = -1
-        self.strides = [0] * npred
-        self.conf = [0] * npred
-        self.useful = 0
-        # Generation the useful bit was last written in; a stale generation
-        # reads as useful == 0, making the periodic reset O(1).
-        self.useful_gen = 0
-
-
 class BlockReadout:
     """Everything the fetch-time read produced, kept for update time."""
 
@@ -126,7 +109,7 @@ class BlockReadout:
         "lvt_last",
         "byte_tags",
         "provider",         # 0 = VT0, i+1 = tagged component i
-        "provider_index",
+        "provider_index",   # VT0 entry, or flat index into the tagged bank
         "provider_tag",
         "strides",          # provider strides (raw stored form)
         "conf",             # provider confidence levels at read time
@@ -148,6 +131,7 @@ class BlockDVTAGE:
         config: BlockDVTAGEConfig | None = None,
         fpc: FPCPolicy | None = None,
         seed: int = 0xBEB0,
+        table_backend: str | None = None,
     ) -> None:
         self.config = config if config is not None else BlockDVTAGEConfig()
         c = self.config
@@ -158,12 +142,39 @@ class BlockDVTAGE:
         self.history_lengths = geometric_history_lengths(
             c.components, c.min_history, c.max_history
         )
-        self._lvt = [_LVTEntry(c.npred) for _ in range(c.base_entries)]
-        self._vt0 = [_StrideEntry(c.npred) for _ in range(c.base_entries)]
-        self._tagged = [
-            [_StrideEntry(c.npred) for _ in range(c.tagged_entries)]
-            for _ in range(c.components)
-        ]
+        lvt_fields = (
+            Field("tag", default=-1),
+            Field("last", width=c.npred, unsigned=True),
+            Field("byte_tags", default=FREE_TAG, width=c.npred),
+        )
+        vt0_fields = (
+            Field("strides", width=c.npred, unsigned=True),
+            Field("conf", width=c.npred),
+        )
+        tagged_fields = (
+            Field("tag", default=-1),
+            Field("strides", width=c.npred, unsigned=True),
+            Field("conf", width=c.npred),
+            Field("useful"),
+            # Generation the useful bit was last written in; a stale
+            # generation reads as useful == 0 (O(1) periodic reset).
+            Field("useful_gen"),
+        )
+        self._lvt = make_bank(c.base_entries, lvt_fields, backend=table_backend)
+        self._vt0 = make_bank(c.base_entries, vt0_fields, backend=table_backend)
+        self._tagged = make_bank(
+            c.components * c.tagged_entries, tagged_fields, backend=table_backend
+        )
+        self.table_backend = self._lvt.backend
+        self._l_tag = self._lvt.col("tag")
+        self._l_last = self._lvt.col("last")
+        self._v_strides = self._vt0.col("strides")
+        self._v_conf = self._vt0.col("conf")
+        self._t_tag = self._tagged.col("tag")
+        self._t_strides = self._tagged.col("strides")
+        self._t_conf = self._tagged.col("conf")
+        self._t_useful = self._tagged.col("useful")
+        self._t_ugen = self._tagged.col("useful_gen")
         self._rng = XorShift64(seed)
         self._updates_since_reset = 0
         self._useful_gen = 0
@@ -184,18 +195,19 @@ class BlockDVTAGE:
     def _key(block_pc: int) -> int:
         return block_pc >> 4
 
-    def _lvt_slot(self, key: int) -> tuple[_LVTEntry, int, int]:
+    def _lvt_slot(self, key: int) -> tuple[int, int]:
         index = table_index(key, self.base_index_bits)
         tag = (key >> self.base_index_bits) & mask(self.config.lvt_tag_bits)
-        return self._lvt[index], index, tag
+        return index, tag
 
     def _component_slot(
         self, comp: int, key: int, hist: HistoryState
     ) -> tuple[int, int]:
+        """(flat index into the tagged bank, tag)."""
         length = self.history_lengths[comp]
         index = tagged_index(key, hist, length, self.tagged_index_bits)
         tag = tagged_tag(key, hist, length, self.tag_bits[comp])
-        return index, tag
+        return comp * self.config.tagged_entries + index, tag
 
     def _stride_value(self, stored: int) -> int:
         return to_signed(stored, self.config.stride_bits)
@@ -209,46 +221,48 @@ class BlockDVTAGE:
     def read(self, block_pc: int, hist: HistoryState) -> BlockReadout:
         """Read LVT and stride components for a fetch block."""
         key = self._key(block_pc)
+        c = self.config
         out = BlockReadout()
         out.block_pc = block_pc
         out.hist = hist
-        lvt, lvt_index, lvt_tag = self._lvt_slot(key)
+        lvt_index, lvt_tag = self._lvt_slot(key)
         out.lvt_index = lvt_index
         out.lvt_tag = lvt_tag
-        out.lvt_hit = lvt.tag == lvt_tag
-        out.lvt_last = list(lvt.last) if out.lvt_hit else [0] * self.config.npred
-        out.byte_tags = (
-            list(lvt.byte_tags) if out.lvt_hit else [FREE_TAG] * self.config.npred
-        )
+        out.lvt_hit = bool(self._l_tag[lvt_index] == lvt_tag)
+        if out.lvt_hit:
+            out.lvt_last = self._lvt.read_vec("last", lvt_index)
+            out.byte_tags = self._lvt.read_vec("byte_tags", lvt_index)
+        else:
+            out.lvt_last = [0] * c.npred
+            out.byte_tags = [FREE_TAG] * c.npred
         hits: list[tuple[int, int, int]] = []
-        for comp in range(self.config.components):
+        t_tag = self._t_tag
+        for comp in range(c.components):
             index, tag = self._component_slot(comp, key, hist)
-            if self._tagged[comp][index].tag == tag:
+            if t_tag[index] == tag:
                 hits.append((comp, index, tag))
         if hits:
             comp, index, tag = hits[-1]
-            entry = self._tagged[comp][index]
             out.provider = comp + 1
             out.provider_index = index
             out.provider_tag = tag
-            out.strides = list(entry.strides)
-            out.conf = list(entry.conf)
+            out.strides = self._tagged.read_vec("strides", index)
+            out.conf = self._tagged.read_vec("conf", index)
             if len(hits) > 1:
-                alt_comp, alt_index, _ = hits[-2]
-                out.alt_strides = list(self._tagged[alt_comp][alt_index].strides)
+                _alt_comp, alt_index, _ = hits[-2]
+                out.alt_strides = self._tagged.read_vec("strides", alt_index)
             else:
-                out.alt_strides = list(
-                    self._vt0[table_index(key, self.base_index_bits)].strides
+                out.alt_strides = self._vt0.read_vec(
+                    "strides", table_index(key, self.base_index_bits)
                 )
         else:
             index = table_index(key, self.base_index_bits)
-            entry = self._vt0[index]
             out.provider = 0
             out.provider_index = index
             out.provider_tag = 0
-            out.strides = list(entry.strides)
-            out.conf = list(entry.conf)
-            out.alt_strides = list(entry.strides)
+            out.strides = self._vt0.read_vec("strides", index)
+            out.conf = self._vt0.read_vec("conf", index)
+            out.alt_strides = list(out.strides)
         return out
 
     def compose(self, readout: BlockReadout, last_values: list[int]) -> list[int]:
@@ -280,31 +294,38 @@ class BlockDVTAGE:
         if not retired:
             return {}
         c = self.config
+        npred = c.npred
         key = self._key(readout.block_pc)
-        lvt, _lvt_index, lvt_tag = self._lvt_slot(key)
-        fresh = lvt.tag != lvt_tag
+        lvt_index, lvt_tag = self._lvt_slot(key)
+        lvt_base = lvt_index * npred
+        fresh = bool(self._l_tag[lvt_index] != lvt_tag)
         boundaries = [boundary for boundary, _ in retired]
+        byte_tags = self._lvt.read_vec("byte_tags", lvt_index)
         assignment, new_tags = update_tag_assignment(
-            lvt.byte_tags if not fresh else [FREE_TAG] * c.npred,
+            byte_tags if not fresh else [FREE_TAG] * npred,
             boundaries,
             fresh_allocation=fresh,
             monotonic=c.monotonic_byte_tags,
         )
         retagged = [
             s
-            for s in range(c.npred)
-            if not fresh and new_tags[s] != lvt.byte_tags[s]
+            for s in range(npred)
+            if not fresh and new_tags[s] != byte_tags[s]
         ]
 
         # Locate the provider entry (it may have been reallocated since the
         # read; in that case only the LVT is trained).
-        provider_entry: _StrideEntry | None
         if readout.provider == 0:
-            provider_entry = self._vt0[readout.provider_index]
+            provider_live = True
+            p_strides, p_conf = self._v_strides, self._v_conf
         else:
-            entry = self._tagged[readout.provider - 1][readout.provider_index]
-            provider_entry = entry if entry.tag == readout.provider_tag else None
+            provider_live = bool(
+                self._t_tag[readout.provider_index] == readout.provider_tag
+            )
+            p_strides, p_conf = self._t_strides, self._t_conf
+        p_base = readout.provider_index * npred
 
+        l_last = self._l_last
         any_wrong = False
         any_useful = False
         observed: dict[int, int] = {}
@@ -314,7 +335,7 @@ class BlockDVTAGE:
             if slot is None:
                 continue  # more results than prediction slots: coverage lost
             slot_actuals[slot] = actual
-            prev_last = lvt.last[slot]
+            prev_last = int(l_last[lvt_base + slot])
             observed[slot] = self._truncate(actual - prev_last)
             predicted = readout.values[slot] if readout.values else None
             correct = (not fresh) and predicted is not None and predicted == actual
@@ -327,33 +348,33 @@ class BlockDVTAGE:
             if fresh:
                 # First contact with this block: install the last values
                 # below; there is no meaningful stride to train yet.
-                lvt.last[slot] = actual
+                l_last[lvt_base + slot] = actual
                 continue
-            if provider_entry is not None and slot not in retagged:
+            if provider_live and slot not in retagged:
                 if correct:
-                    provider_entry.conf[slot] = self.fpc.advance(
-                        provider_entry.conf[slot]
+                    p_conf[p_base + slot] = self.fpc.advance(
+                        int(p_conf[p_base + slot])
                     )
                 else:
-                    provider_entry.conf[slot] = self.fpc.reset_level()
-                    provider_entry.strides[slot] = observed[slot]
-            elif provider_entry is not None:
+                    p_conf[p_base + slot] = self.fpc.reset_level()
+                    p_strides[p_base + slot] = observed[slot]
+            elif provider_live:
                 # The slot now belongs to a different instruction: retrain.
-                provider_entry.conf[slot] = self.fpc.reset_level()
-                provider_entry.strides[slot] = observed[slot]
-            lvt.last[slot] = actual
+                p_conf[p_base + slot] = self.fpc.reset_level()
+                p_strides[p_base + slot] = observed[slot]
+            l_last[lvt_base + slot] = actual
 
         # Per-block usefulness (§III-D-b): one bit for the whole entry.
-        if provider_entry is not None and readout.provider > 0:
+        if provider_live and readout.provider > 0:
             if any_wrong:
-                provider_entry.useful = 0
-                provider_entry.useful_gen = self._useful_gen
+                self._t_useful[readout.provider_index] = 0
+                self._t_ugen[readout.provider_index] = self._useful_gen
             elif any_useful:
-                provider_entry.useful = 1
-                provider_entry.useful_gen = self._useful_gen
+                self._t_useful[readout.provider_index] = 1
+                self._t_ugen[readout.provider_index] = self._useful_gen
 
-        lvt.tag = lvt_tag
-        lvt.byte_tags = new_tags
+        self._l_tag[lvt_index] = lvt_tag
+        self._lvt.write_vec("byte_tags", lvt_index, new_tags)
 
         if any_wrong and not fresh:
             self._allocate(key, readout, observed, correct_slots)
@@ -372,38 +393,38 @@ class BlockDVTAGE:
         wrong slots get the observed stride with reset confidence."""
         c = self.config
         gen = self._useful_gen
+        t_useful, t_ugen = self._t_useful, self._t_ugen
         candidates = []
         slots = []
         for comp in range(readout.provider, c.components):
             index, tag = self._component_slot(comp, key, readout.hist)
             slots.append((comp, index, tag))
-            entry = self._tagged[comp][index]
-            if entry.useful == 0 or entry.useful_gen != gen:
+            if t_useful[index] == 0 or t_ugen[index] != gen:
                 candidates.append((comp, index, tag))
         if not candidates:
-            for comp, index, _tag in slots:
-                entry = self._tagged[comp][index]
-                entry.useful = 0
-                entry.useful_gen = gen
+            for _comp, index, _tag in slots:
+                t_useful[index] = 0
+                t_ugen[index] = gen
             return
-        comp, index, tag = candidates[self._rng.next_below(len(candidates))]
-        entry = self._tagged[comp][index]
-        entry.tag = tag
-        entry.useful = 0
-        entry.useful_gen = gen
+        _comp, index, tag = candidates[self._rng.next_below(len(candidates))]
+        self._t_tag[index] = tag
+        t_useful[index] = 0
+        t_ugen[index] = gen
+        base = index * c.npred
+        t_strides, t_conf = self._t_strides, self._t_conf
         for m in range(c.npred):
             if m in correct_slots:
-                entry.strides[m] = readout.strides[m]
-                entry.conf[m] = (
+                t_strides[base + m] = readout.strides[m]
+                t_conf[base + m] = (
                     readout.conf[m] if c.propagate_confidence else 0
                 )
             elif m in observed:
-                entry.strides[m] = observed[m]
-                entry.conf[m] = 0
+                t_strides[base + m] = observed[m]
+                t_conf[base + m] = 0
             else:
                 # Slot not exercised by this instance: inherit the provider.
-                entry.strides[m] = readout.strides[m]
-                entry.conf[m] = (
+                t_strides[base + m] = readout.strides[m]
+                t_conf[base + m] = (
                     readout.conf[m] if c.propagate_confidence else 0
                 )
 

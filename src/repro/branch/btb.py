@@ -5,40 +5,86 @@ misses in the BTB costs a front-end redirect even when the direction was
 predicted correctly.  The RAS is a small circular stack; the synthetic ISA
 has no call/return, so the RAS exists for interface completeness and unit
 testing of the structure itself.
+
+BTB state lives in :mod:`repro.common.tables` banks: one flat
+``sets * ways`` bank of (tag, target) pairs ordered oldest-first within
+each set (MRU in the highest occupied slot), plus a per-set occupancy bank.
 """
 
 from __future__ import annotations
+
+from repro.common.tables import Field, make_bank
+from repro.common.errors import ConfigError
+
+WAY_FIELDS = (
+    Field("tag", default=-1),
+    Field("target", unsigned=True),
+)
+
+SET_FIELDS = (
+    Field("count"),  # occupied ways in the set
+)
 
 
 class BranchTargetBuffer:
     """2-way set-associative BTB, 8K entries by default (Table I)."""
 
-    def __init__(self, entries: int = 8192, ways: int = 2) -> None:
-        if entries % ways:
-            raise ValueError(f"{entries} entries not divisible by {ways} ways")
-        sets = entries // ways
-        if sets <= 0 or sets & (sets - 1):
-            raise ValueError(f"set count must be a power of two, got {sets}")
+    def __init__(
+        self, entries: int = 8192, ways: int = 2, table_backend: str | None = None
+    ) -> None:
+        violations: list[str] = []
+        if entries <= 0:
+            violations.append(f"entries must be positive, got {entries}")
+        if ways <= 0:
+            violations.append(f"ways must be positive, got {ways}")
+        sets = entries // ways if ways > 0 else 0
+        if not violations:
+            if entries % ways:
+                violations.append(
+                    f"{entries} entries not divisible by {ways} ways"
+                )
+            elif sets <= 0 or sets & (sets - 1):
+                violations.append(f"set count must be a power of two, got {sets}")
+        if violations:
+            raise ConfigError(type(self).__name__, violations)
         self.entries = entries
         self.ways = ways
         self.sets = sets
         self._index_mask = sets - 1
-        # Per set: list of (tag, target), most recently used last.
-        self._table: list[list[tuple[int, int]]] = [[] for _ in range(sets)]
+        self._ways = make_bank(sets * ways, WAY_FIELDS, backend=table_backend)
+        self._sets = make_bank(sets, SET_FIELDS, backend=table_backend)
+        self.table_backend = self._ways.backend
+        self._tag = self._ways.col("tag")
+        self._target = self._ways.col("target")
+        self._count = self._sets.col("count")
         self.hits = 0
         self.misses = 0
 
-    def _set_and_tag(self, pc: int) -> tuple[list[tuple[int, int]], int]:
+    def _set_and_tag(self, pc: int) -> tuple[int, int]:
         index = (pc >> 2) & self._index_mask
         tag = pc >> 2 >> self.sets.bit_length() - 1
-        return self._table[index], tag
+        return index, tag
+
+    def _bump_to_mru(self, base: int, slot: int, count: int) -> None:
+        """Move the entry at ``base + slot`` to the MRU position."""
+        tag_col, tgt_col = self._tag, self._target
+        tag, target = tag_col[base + slot], tgt_col[base + slot]
+        for i in range(slot, count - 1):
+            tag_col[base + i] = tag_col[base + i + 1]
+            tgt_col[base + i] = tgt_col[base + i + 1]
+        tag_col[base + count - 1] = tag
+        tgt_col[base + count - 1] = target
 
     def lookup(self, pc: int) -> int | None:
         """Predicted target of the branch at ``pc``, or None on miss."""
-        ways, tag = self._set_and_tag(pc)
-        for i, (t, target) in enumerate(ways):
-            if t == tag:
-                ways.append(ways.pop(i))  # LRU bump
+        set_index, tag = self._set_and_tag(pc)
+        base = set_index * self.ways
+        count = int(self._count[set_index])
+        tag_col = self._tag
+        for i in range(count):
+            if tag_col[base + i] == tag:
+                target = int(self._target[base + i])
+                self._bump_to_mru(base, i, count)
                 self.hits += 1
                 return target
         self.misses += 1
@@ -46,15 +92,24 @@ class BranchTargetBuffer:
 
     def install(self, pc: int, target: int) -> None:
         """Record the resolved target of a taken branch."""
-        ways, tag = self._set_and_tag(pc)
-        for i, (t, _) in enumerate(ways):
-            if t == tag:
-                ways[i] = (tag, target)
-                ways.append(ways.pop(i))
+        set_index, tag = self._set_and_tag(pc)
+        base = set_index * self.ways
+        count = int(self._count[set_index])
+        tag_col = self._tag
+        for i in range(count):
+            if tag_col[base + i] == tag:
+                self._target[base + i] = target
+                self._bump_to_mru(base, i, count)
                 return
-        if len(ways) >= self.ways:
-            ways.pop(0)
-        ways.append((tag, target))
+        if count >= self.ways:
+            # Evict LRU (slot 0): shift everything down, install at MRU.
+            self._bump_to_mru(base, 0, count)
+            self._tag[base + count - 1] = tag
+            self._target[base + count - 1] = target
+            return
+        self._tag[base + count] = tag
+        self._target[base + count] = target
+        self._count[set_index] = count + 1
 
     def storage_bits(self) -> int:
         # ~30-bit tags + 32-bit (compressed) targets per entry.

@@ -9,33 +9,33 @@ The implementation follows the canonical TAGE policies: provider/altpred
 selection, "weak provider uses altpred" filtering via a use-alt-on-new-alloc
 counter, 2-bit usefulness counters with periodic graceful reset, and
 allocation in a randomly chosen not-useful longer-history slot.
+
+Table state lives in :mod:`repro.common.tables` banks: the bimodal base is
+one bank, and the tagged components share one flat bank addressed by
+``comp * tagged_entries + index``.
 """
 
 from __future__ import annotations
 
 from repro.common.bits import mask
 from repro.common.rng import XorShift64
+from repro.common.tables import Field, make_bank
+from repro.common.errors import ConfigError, require_positive, require_power_of_two
 from repro.predictors.base import HistoryState, tagged_index, tagged_tag
 from repro.predictors.vtage import geometric_history_lengths
 
+BIMODAL_FIELDS = (
+    Field("ctr", default=2),  # 2-bit counter, weakly taken
+)
 
-class _BimodalEntry:
-    __slots__ = ("ctr",)
-
-    def __init__(self) -> None:
-        self.ctr = 2  # 2-bit counter, weakly taken
-
-
-class _TaggedEntry:
-    __slots__ = ("tag", "ctr", "useful", "useful_gen")
-
-    def __init__(self) -> None:
-        self.tag = -1
-        self.ctr = 4  # 3-bit counter, weak
-        self.useful = 0
-        # Generation the useful counter was last touched in; a stale
-        # generation reads as useful == 0 (O(1) periodic reset).
-        self.useful_gen = 0
+TAGGED_FIELDS = (
+    Field("tag", default=-1),
+    Field("ctr", default=4),  # 3-bit counter, weak
+    Field("useful"),
+    # Generation the useful counter was last touched in; a stale
+    # generation reads as useful == 0 (O(1) periodic reset).
+    Field("useful_gen"),
+)
 
 
 class _BranchMeta:
@@ -76,13 +76,18 @@ class TAGEBranchPredictor:
         max_history: int = 640,
         useful_reset_period: int = 262144,
         seed: int = 0x7A63,
+        table_backend: str | None = None,
     ) -> None:
-        for n, what in ((bimodal_entries, "bimodal"), (tagged_entries, "tagged")):
-            if n <= 0 or n & (n - 1):
-                raise ValueError(f"{what} entries must be a power of two, got {n}")
         self.bimodal_entries = bimodal_entries
         self.tagged_entries = tagged_entries
         self.components = components
+        violations: list[str] = []
+        require_positive(
+            violations, self, "bimodal_entries", "tagged_entries", "components"
+        )
+        require_power_of_two(violations, self, "bimodal_entries", "tagged_entries")
+        if violations:
+            raise ConfigError(type(self).__name__, violations)
         self.bimodal_index_bits = bimodal_entries.bit_length() - 1
         self.tagged_index_bits = tagged_entries.bit_length() - 1
         self.tag_bits = tuple(
@@ -91,11 +96,18 @@ class TAGEBranchPredictor:
         self.history_lengths = geometric_history_lengths(
             components, min_history, max_history
         )
-        self._bimodal = [_BimodalEntry() for _ in range(bimodal_entries)]
-        self._tagged = [
-            [_TaggedEntry() for _ in range(tagged_entries)]
-            for _ in range(components)
-        ]
+        self._bimodal = make_bank(
+            bimodal_entries, BIMODAL_FIELDS, backend=table_backend
+        )
+        self._tagged = make_bank(
+            components * tagged_entries, TAGGED_FIELDS, backend=table_backend
+        )
+        self.table_backend = self._bimodal.backend
+        self._b_ctr = self._bimodal.col("ctr")
+        self._t_tag = self._tagged.col("tag")
+        self._t_ctr = self._tagged.col("ctr")
+        self._t_useful = self._tagged.col("useful")
+        self._t_ugen = self._tagged.col("useful_gen")
         self._rng = XorShift64(seed)
         self._use_alt_on_new_alloc = 8  # 4-bit counter centred at 8
         self._useful_reset_period = useful_reset_period
@@ -114,35 +126,37 @@ class TAGEBranchPredictor:
 
     # -- lookups -----------------------------------------------------------
 
-    def _bimodal_entry(self, pc: int) -> _BimodalEntry:
-        return self._bimodal[(pc >> 2) & mask(self.bimodal_index_bits)]
+    def _bimodal_index(self, pc: int) -> int:
+        return (pc >> 2) & mask(self.bimodal_index_bits)
 
     def _slot(self, comp: int, pc: int, hist: HistoryState) -> tuple[int, int]:
+        """(flat index, tag) of ``pc`` in tagged component ``comp``."""
         length = self.history_lengths[comp]
         index = tagged_index(pc, hist, length, self.tagged_index_bits)
         tag = tagged_tag(pc, hist, length, self.tag_bits[comp])
-        return index, tag
+        return comp * self.tagged_entries + index, tag
 
     # -- prediction ---------------------------------------------------------
 
     def predict(self, pc: int, hist: HistoryState) -> tuple[bool, _BranchMeta]:
         """Predicted direction plus the metadata train() needs."""
         hits: list[tuple[int, int, int]] = []
+        t_tag = self._t_tag
         for comp in range(self.components):
             index, tag = self._slot(comp, pc, hist)
-            if self._tagged[comp][index].tag == tag:
+            if t_tag[index] == tag:
                 hits.append((comp, index, tag))
-        base_taken = self._bimodal_entry(pc).ctr >= 2
+        base_taken = bool(self._b_ctr[self._bimodal_index(pc)] >= 2)
         if not hits:
             meta = _BranchMeta(0, 0, 0, base_taken, False)
             return base_taken, meta
         comp, index, tag = hits[-1]
-        entry = self._tagged[comp][index]
-        taken = entry.ctr >= 4
-        weak = entry.ctr in (3, 4)
+        ctr = int(self._t_ctr[index])
+        taken = ctr >= 4
+        weak = ctr in (3, 4)
         if len(hits) > 1:
-            alt_comp, alt_index, _ = hits[-2]
-            alt_taken = self._tagged[alt_comp][alt_index].ctr >= 4
+            _alt_comp, alt_index, _ = hits[-2]
+            alt_taken = bool(self._t_ctr[alt_index] >= 4)
         else:
             alt_taken = base_taken
         meta = _BranchMeta(comp + 1, index, tag, alt_taken, weak)
@@ -159,27 +173,28 @@ class TAGEBranchPredictor:
     ) -> None:
         """Update with the resolved direction (meta from the predict call)."""
         if meta.provider == 0:
-            entry = self._bimodal_entry(pc)
-            entry.ctr = min(3, entry.ctr + 1) if taken else max(0, entry.ctr - 1)
+            index = self._bimodal_index(pc)
+            ctr = int(self._b_ctr[index])
+            self._b_ctr[index] = min(3, ctr + 1) if taken else max(0, ctr - 1)
             provider_taken = meta.alt_taken
             provider_correct = provider_taken == taken
             if not provider_correct:
                 self._allocate(pc, hist, 0, taken)
             self._tick()
             return
-        comp = meta.provider - 1
-        entry = self._tagged[comp][meta.index]
-        if entry.tag == meta.tag:
-            provider_taken = entry.ctr >= 4
+        index = meta.index
+        if self._t_tag[index] == meta.tag:
+            ctr = int(self._t_ctr[index])
+            provider_taken = ctr >= 4
             provider_correct = provider_taken == taken
-            entry.ctr = min(7, entry.ctr + 1) if taken else max(0, entry.ctr - 1)
-            if entry.useful_gen != self._useful_gen:
-                entry.useful = 0
-                entry.useful_gen = self._useful_gen
+            self._t_ctr[index] = min(7, ctr + 1) if taken else max(0, ctr - 1)
+            if self._t_ugen[index] != self._useful_gen:
+                self._t_useful[index] = 0
+                self._t_ugen[index] = self._useful_gen
             if provider_correct and meta.alt_taken != provider_taken:
-                entry.useful = min(3, entry.useful + 1)
+                self._t_useful[index] = min(3, int(self._t_useful[index]) + 1)
             elif not provider_correct:
-                entry.useful = max(0, entry.useful - 1)
+                self._t_useful[index] = max(0, int(self._t_useful[index]) - 1)
             if meta.provider_weak and meta.alt_taken != provider_taken:
                 # Track whether trusting the alternate over weak providers
                 # pays off.
@@ -201,17 +216,15 @@ class TAGEBranchPredictor:
         for comp in range(provider, self.components):
             index, tag = self._slot(comp, pc, hist)
             slots.append((comp, index, tag))
-            entry = self._tagged[comp][index]
-            if entry.useful_gen != gen:
-                entry.useful = 0
-                entry.useful_gen = gen
-            if entry.useful == 0:
+            if self._t_ugen[index] != gen:
+                self._t_useful[index] = 0
+                self._t_ugen[index] = gen
+            if self._t_useful[index] == 0:
                 candidates.append((comp, index, tag))
         if not candidates:
             # Every slot was normalized to the current generation above.
-            for comp, index, _ in slots:
-                entry = self._tagged[comp][index]
-                entry.useful = max(0, entry.useful - 1)
+            for _comp, index, _ in slots:
+                self._t_useful[index] = max(0, int(self._t_useful[index]) - 1)
             return
         # Bias allocation toward shorter histories (classic TAGE heuristic):
         # pick the first candidate with probability 1/2, else uniformly.
@@ -219,12 +232,11 @@ class TAGEBranchPredictor:
             choice = candidates[0]
         else:
             choice = candidates[self._rng.next_below(len(candidates))]
-        comp, index, tag = choice
-        entry = self._tagged[comp][index]
-        entry.tag = tag
-        entry.ctr = 4 if taken else 3
-        entry.useful = 0
-        entry.useful_gen = gen
+        _comp, index, tag = choice
+        self._t_tag[index] = tag
+        self._t_ctr[index] = 4 if taken else 3
+        self._t_useful[index] = 0
+        self._t_ugen[index] = gen
 
     def _tick(self) -> None:
         # O(1) periodic reset via the generation counter (no table walk).

@@ -1,0 +1,51 @@
+"""Structured construction-time validation shared across the codebase.
+
+:class:`ConfigError` collects *every* violation found while validating a
+config or hardware structure and raises them together — the message is the
+fix list, not a scavenger hunt.  It subclasses :class:`ValueError` so
+callers that catch ``ValueError`` keep working.
+
+This lives under :mod:`repro.common` (not :mod:`repro.pipeline`) so leaf
+structures — predictors, branch predictors, table banks — can validate
+their constructor parameters without importing the pipeline package;
+:mod:`repro.pipeline.config` re-exports everything for compatibility.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+class ConfigError(ValueError):
+    """One or more invalid configuration fields, reported together.
+
+    Construction-time validation collects *every* violation before
+    raising, so a config with three bad fields produces one error naming
+    all three instead of failing deep inside the pipeline on the first —
+    the message is the fix list, not a scavenger hunt.
+    """
+
+    def __init__(self, name: str, violations: Sequence[str]) -> None:
+        self.config_name = name
+        self.violations = tuple(violations)
+        super().__init__(f"{name}: " + "; ".join(self.violations))
+
+
+def require_positive(violations: list[str], config: object, *fields: str) -> None:
+    """Append a violation for every named field that is not ``> 0``."""
+    for field in fields:
+        value = getattr(config, field)
+        if value <= 0:
+            violations.append(f"{field} must be positive, got {value}")
+
+
+def require_power_of_two(violations: list[str], config: object, *fields: str) -> None:
+    """Append a violation for every named field that is not a power of two.
+
+    Non-positive values are reported by :func:`require_positive`; this
+    only flags positive non-powers so one bad field yields one message.
+    """
+    for field in fields:
+        value = getattr(config, field)
+        if value > 0 and value & (value - 1):
+            violations.append(f"{field} must be a power of two, got {value}")

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -15,8 +14,8 @@ class SimStats:
     Ad-hoc side-channel counters belong in :mod:`repro.obs` (namespaced
     metrics on the registry), not here: the dataclass fields are the stable
     result schema that the on-disk cache serialises and equality compares.
-    The legacy ``extra`` dict survives as a deprecated read-through view —
-    see :attr:`extra` — and is excluded from both.
+    Namespaced metrics attach via :meth:`attach_metrics` and read back
+    through :attr:`metrics`, excluded from both.
     """
 
     workload: str = ""
@@ -44,36 +43,17 @@ class SimStats:
     def __post_init__(self) -> None:
         # Non-field state: excluded from ==, repr and dataclasses.asdict,
         # so attaching metrics can never perturb cached or compared results.
-        self._extra: dict[str, float] = {}
         self._metrics: Mapping[str, float] | None = None
 
     def attach_metrics(self, snapshot: Mapping[str, float]) -> None:
-        """Associate a namespaced metrics snapshot (``repro.obs``) with this
-        run; the deprecated :attr:`extra` view reads through to it."""
+        """Associate a namespaced metrics snapshot (``repro.obs``) with
+        this run."""
         self._metrics = snapshot
 
     @property
     def metrics(self) -> Mapping[str, float]:
         """Namespaced metrics recorded for this run (empty if obs was off)."""
         return self._metrics if self._metrics is not None else {}
-
-    @property
-    def extra(self) -> dict[str, float]:
-        """Deprecated: use :mod:`repro.obs` namespaced metrics instead.
-
-        Reads through to the attached metrics snapshot (plus any legacy
-        direct writes, which still work when no snapshot is attached)."""
-        warnings.warn(
-            "SimStats.extra is deprecated; read stats.metrics or use the "
-            "repro.obs metrics registry",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if self._metrics:
-            merged = dict(self._metrics)
-            merged.update(self._extra)
-            return merged
-        return self._extra
 
     @property
     def ipc(self) -> float:

@@ -18,12 +18,18 @@ block-based speculative window lives in :mod:`repro.bebop`.
 This class backs the Fig 5a/5b "D-VTAGE" configuration; the block-based
 BeBoP version (:class:`repro.bebop.predictor.BlockDVTAGE`) reuses its
 allocation logic at the block granularity.
+
+Table state lives in :mod:`repro.common.tables` banks: the LVT and VT0 are
+one bank each, and all tagged components share one flat bank addressed by
+``comp * tagged_entries + index``.
 """
 
 from __future__ import annotations
 
 from repro.common.bits import mask, to_signed, to_unsigned
 from repro.common.rng import XorShift64
+from repro.common.tables import Field, make_bank
+from repro.common.errors import ConfigError, require_positive, require_power_of_two
 from repro.predictors.base import (
     HistoryState,
     Prediction,
@@ -36,30 +42,30 @@ from repro.predictors.base import (
 from repro.predictors.confidence import FPCPolicy
 from repro.predictors.vtage import geometric_history_lengths
 
+#: Last Value Table: committed last values with small partial tags.
+LVT_FIELDS = (
+    Field("tag", default=-1),
+    Field("valid"),            # last value observed at least once (0/1)
+    Field("last", unsigned=True),
+    Field("inflight"),         # in-flight instances (speculative history)
+)
 
-class _LVTEntry:
-    __slots__ = ("tag", "valid", "last", "inflight")
+#: VT0: base strides + confidence (strides stored pre-masked).
+VT0_FIELDS = (
+    Field("stride", unsigned=True),
+    Field("conf"),
+)
 
-    def __init__(self) -> None:
-        self.tag = -1
-        self.valid = False     # last value observed at least once
-        self.last = 0
-        self.inflight = 0      # in-flight instances (speculative history)
-
-
-class _StrideEntry:
-    """A VT0 or tagged-component entry: stride + confidence (+tag/useful)."""
-
-    __slots__ = ("tag", "stride", "conf", "useful", "useful_gen")
-
-    def __init__(self) -> None:
-        self.tag = -1
-        self.stride = 0
-        self.conf = 0
-        self.useful = 0
-        # Generation the useful bit was last written in; a stale generation
-        # reads as useful == 0, making the periodic reset O(1).
-        self.useful_gen = 0
+#: Tagged components, flattened across components.
+TAGGED_FIELDS = (
+    Field("tag", default=-1),
+    Field("stride", unsigned=True),
+    Field("conf"),
+    Field("useful"),
+    # Generation the useful bit was last written in; a stale generation
+    # reads as useful == 0, making the periodic reset O(1).
+    Field("useful_gen"),
+)
 
 
 class _TrainMeta:
@@ -106,29 +112,48 @@ class DVTAGEPredictor(ValuePredictor):
         useful_reset_period: int = 8192,
         propagate_confidence: bool = False,
         seed: int = 0xD7A6E,
+        table_backend: str | None = None,
     ) -> None:
-        for n, what in ((base_entries, "base"), (tagged_entries, "tagged")):
-            if n <= 0 or n & (n - 1):
-                raise ValueError(f"{what} entry count must be a power of two, got {n}")
         self.base_entries = base_entries
         self.tagged_entries = tagged_entries
         self.components = components
+        self.lvt_tag_bits = lvt_tag_bits
+        self.stride_bits = stride_bits
+        violations: list[str] = []
+        require_positive(
+            violations, self,
+            "base_entries", "tagged_entries", "components",
+            "lvt_tag_bits", "stride_bits",
+        )
+        require_power_of_two(violations, self, "base_entries", "tagged_entries")
+        if violations:
+            raise ConfigError(type(self).__name__, violations)
         self.base_index_bits = base_entries.bit_length() - 1
         self.tagged_index_bits = tagged_entries.bit_length() - 1
         self.tag_bits = tuple(first_tag_bits + i for i in range(components))
-        self.lvt_tag_bits = lvt_tag_bits
-        self.stride_bits = stride_bits
         self.history_lengths = geometric_history_lengths(
             components, min_history, max_history
         )
         self.fpc = fpc if fpc is not None else FPCPolicy()
         self.propagate_confidence = propagate_confidence
-        self._lvt = [_LVTEntry() for _ in range(base_entries)]
-        self._vt0 = [_StrideEntry() for _ in range(base_entries)]
-        self._tagged = [
-            [_StrideEntry() for _ in range(tagged_entries)]
-            for _ in range(components)
-        ]
+        self._lvt = make_bank(base_entries, LVT_FIELDS, backend=table_backend)
+        self._vt0 = make_bank(base_entries, VT0_FIELDS, backend=table_backend)
+        self._tagged = make_bank(
+            components * tagged_entries, TAGGED_FIELDS, backend=table_backend
+        )
+        self.table_backend = self._lvt.backend
+        # Hot-path column references (stable identity for the bank's life).
+        self._l_tag = self._lvt.col("tag")
+        self._l_valid = self._lvt.col("valid")
+        self._l_last = self._lvt.col("last")
+        self._l_inflight = self._lvt.col("inflight")
+        self._v_stride = self._vt0.col("stride")
+        self._v_conf = self._vt0.col("conf")
+        self._t_tag = self._tagged.col("tag")
+        self._t_stride = self._tagged.col("stride")
+        self._t_conf = self._tagged.col("conf")
+        self._t_useful = self._tagged.col("useful")
+        self._t_ugen = self._tagged.col("useful_gen")
         self._rng = XorShift64(seed)
         self._useful_reset_period = useful_reset_period
         self._updates_since_reset = 0
@@ -146,48 +171,55 @@ class DVTAGEPredictor(ValuePredictor):
 
     # -- lookups -----------------------------------------------------------
 
-    def _lvt_slot(self, key: int) -> tuple[_LVTEntry, int, int]:
+    def _lvt_slot(self, key: int) -> tuple[int, int]:
         index = table_index(key, self.base_index_bits)
         tag = (key >> self.base_index_bits) & mask(self.lvt_tag_bits)
-        return self._lvt[index], index, tag
+        return index, tag
 
     def _component_slot(
         self, comp: int, key: int, hist: HistoryState
     ) -> tuple[int, int]:
+        """(flat index, tag) of ``key`` in tagged component ``comp``."""
         length = self.history_lengths[comp]
         index = tagged_index(key, hist, length, self.tagged_index_bits)
         tag = tagged_tag(key, hist, length, self.tag_bits[comp])
-        return index, tag
+        return comp * self.tagged_entries + index, tag
 
     def _select_stride(
         self, key: int, hist: HistoryState
-    ) -> tuple[int, int, int, _StrideEntry, int]:
+    ) -> tuple[int, int, int, int, int, int]:
         """Pick the providing stride entry.
 
-        Returns ``(provider, index, tag, entry, alt_stride)`` with provider
-        0 for VT0 and ``comp + 1`` for tagged component ``comp``.  ``entry``
-        is the providing entry itself (stride + confidence live there) and
-        ``alt_stride`` the stride of the next-longest hitting component — or
-        VT0's when the provider is the only hit — which training feeds to
-        the usefulness heuristic.
+        Returns ``(provider, index, tag, stride, conf, alt_stride)`` with
+        provider 0 for VT0 and ``comp + 1`` for tagged component ``comp``;
+        ``index`` is a flat index into the provider's bank.  ``stride`` is
+        the provider's stored (masked) stride and ``conf`` its confidence;
+        ``alt_stride`` is the stride of the next-longest hitting component —
+        or VT0's when the provider is the only hit — which training feeds
+        to the usefulness heuristic.
         """
         hits = []
+        t_tag = self._t_tag
         for comp in range(self.components):
             index, tag = self._component_slot(comp, key, hist)
-            if self._tagged[comp][index].tag == tag:
+            if t_tag[index] == tag:
                 hits.append((comp, index, tag))
         if hits:
             comp, index, tag = hits[-1]
-            entry = self._tagged[comp][index]
             if len(hits) > 1:
-                alt_comp, alt_index, _ = hits[-2]
-                alt_stride = self._tagged[alt_comp][alt_index].stride
+                _alt_comp, alt_index, _ = hits[-2]
+                alt_stride = int(self._t_stride[alt_index])
             else:
-                alt_stride = self._vt0[table_index(key, self.base_index_bits)].stride
-            return comp + 1, index, tag, entry, alt_stride
+                alt_stride = int(
+                    self._v_stride[table_index(key, self.base_index_bits)]
+                )
+            return (
+                comp + 1, index, tag,
+                int(self._t_stride[index]), int(self._t_conf[index]), alt_stride,
+            )
         index = table_index(key, self.base_index_bits)
-        entry = self._vt0[index]
-        return 0, index, 0, entry, entry.stride
+        stride = int(self._v_stride[index])
+        return 0, index, 0, stride, int(self._v_conf[index]), stride
 
     def _stride_value(self, stored: int) -> int:
         """Sign-extend a stored (possibly partial) stride for the adder."""
@@ -199,36 +231,39 @@ class DVTAGEPredictor(ValuePredictor):
         self, pc: int, uop_index: int, hist: HistoryState
     ) -> Prediction | None:
         key = mix_pc(pc, uop_index)
-        lvt, lvt_index, lvt_tag = self._lvt_slot(key)
-        if lvt.tag != lvt_tag:
+        lvt_index, lvt_tag = self._lvt_slot(key)
+        if self._l_tag[lvt_index] != lvt_tag:
             # Claim the LVT entry at fetch so in-flight instances are
             # counted from the first one; the base strides are retrained.
-            lvt.tag = lvt_tag
-            lvt.valid = False
-            lvt.inflight = 1
-            vt0 = self._vt0[table_index(key, self.base_index_bits)]
-            vt0.stride = 0
-            vt0.conf = 0
+            self._l_tag[lvt_index] = lvt_tag
+            self._l_valid[lvt_index] = 0
+            self._l_inflight[lvt_index] = 1
+            vt0_index = table_index(key, self.base_index_bits)
+            self._v_stride[vt0_index] = 0
+            self._v_conf[vt0_index] = 0
             self._spec_dirty.add(lvt_index)
             return None
-        lvt.inflight += 1
+        self._l_inflight[lvt_index] += 1
         self._spec_dirty.add(lvt_index)
-        if not lvt.valid:
+        if not self._l_valid[lvt_index]:
             # Still waiting for the first commit of this instruction.
             return None
-        provider, index, tag, entry, alt_stride = self._select_stride(key, hist)
+        provider, index, tag, stored, conf, alt_stride = self._select_stride(
+            key, hist
+        )
         # Idealistic instruction-level speculative history: with k older
         # instances in flight this instance is last + (k+1)*stride (instance
         # counting); the realistic chained-value alternative is the BeBoP
         # speculative window of repro.bebop.
-        stride = self._stride_value(entry.stride)
-        value = to_unsigned(lvt.last + stride * lvt.inflight, 64)
+        stride = self._stride_value(stored)
+        last = int(self._l_last[lvt_index])
+        value = to_unsigned(last + stride * int(self._l_inflight[lvt_index]), 64)
         return Prediction(
             value,
-            self.fpc.is_confident(entry.conf),
+            self.fpc.is_confident(conf),
             provider=provider,
-            conf=entry.conf,
-            meta=_TrainMeta(provider, index, tag, alt_stride, lvt.last, entry.conf),
+            conf=conf,
+            meta=_TrainMeta(provider, index, tag, alt_stride, last, conf),
         )
 
     # -- training -----------------------------------------------------------
@@ -242,51 +277,53 @@ class DVTAGEPredictor(ValuePredictor):
         prediction: Prediction | None,
     ) -> None:
         key = mix_pc(pc, uop_index)
-        lvt, lvt_index, lvt_tag = self._lvt_slot(key)
-        if lvt.tag != lvt_tag:
+        lvt_index, lvt_tag = self._lvt_slot(key)
+        if self._l_tag[lvt_index] != lvt_tag:
             # Entry re-claimed by another instruction at fetch; drop the
             # stale update.
             return
-        if lvt.inflight > 0:
-            lvt.inflight -= 1
+        if self._l_inflight[lvt_index] > 0:
+            self._l_inflight[lvt_index] -= 1
         if prediction is None or not isinstance(prediction.meta, _TrainMeta):
             # LVT was claimed but had no valid last value at predict time:
             # the first committed result initialises it.
-            lvt.valid = True
-            lvt.last = actual
-            if lvt.inflight == 0:
+            self._l_valid[lvt_index] = 1
+            self._l_last[lvt_index] = actual
+            if self._l_inflight[lvt_index] == 0:
                 self._spec_dirty.discard(lvt_index)
             return
         meta: _TrainMeta = prediction.meta
         correct = prediction.value == actual
         observed_stride = to_unsigned(
-            to_signed(actual - lvt.last, self.stride_bits), self.stride_bits
+            to_signed(actual - int(self._l_last[lvt_index]), self.stride_bits),
+            self.stride_bits,
         )
 
         if meta.provider == 0:
-            entry = self._vt0[meta.index]
+            index = meta.index
             if correct:
-                entry.conf = self.fpc.advance(entry.conf)
+                self._v_conf[index] = self.fpc.advance(int(self._v_conf[index]))
             else:
-                entry.conf = self.fpc.reset_level()
-                entry.stride = observed_stride
+                self._v_conf[index] = self.fpc.reset_level()
+                self._v_stride[index] = observed_stride
         else:
-            comp = meta.provider - 1
-            entry = self._tagged[comp][meta.index]
-            if entry.tag == meta.tag:
+            index = meta.index
+            if self._t_tag[index] == meta.tag:
                 if correct:
-                    entry.conf = self.fpc.advance(entry.conf)
-                    entry.useful = 1 if meta.alt_stride != entry.stride else 0
+                    self._t_conf[index] = self.fpc.advance(int(self._t_conf[index]))
+                    self._t_useful[index] = (
+                        1 if meta.alt_stride != self._t_stride[index] else 0
+                    )
                 else:
-                    entry.conf = self.fpc.reset_level()
-                    entry.stride = observed_stride
-                    entry.useful = 0
-                entry.useful_gen = self._useful_gen
+                    self._t_conf[index] = self.fpc.reset_level()
+                    self._t_stride[index] = observed_stride
+                    self._t_useful[index] = 0
+                self._t_ugen[index] = self._useful_gen
         if not correct:
             self._allocate(key, hist, meta.provider, observed_stride, meta.conf)
         # The LVT always tracks committed last values.
-        lvt.last = actual
-        if lvt.inflight == 0:
+        self._l_last[lvt_index] = actual
+        if self._l_inflight[lvt_index] == 0:
             self._spec_dirty.discard(lvt_index)
         self._tick_useful_reset()
 
@@ -304,26 +341,23 @@ class DVTAGEPredictor(ValuePredictor):
         for comp in range(provider, self.components):
             index, tag = self._component_slot(comp, key, hist)
             slots.append((comp, index, tag))
-            entry = self._tagged[comp][index]
-            if entry.useful == 0 or entry.useful_gen != gen:
+            if self._t_useful[index] == 0 or self._t_ugen[index] != gen:
                 candidates.append((comp, index, tag))
         if not candidates:
-            for comp, index, _tag in slots:
-                entry = self._tagged[comp][index]
-                entry.useful = 0
-                entry.useful_gen = gen
+            for _comp, index, _tag in slots:
+                self._t_useful[index] = 0
+                self._t_ugen[index] = gen
             return
-        comp, index, tag = candidates[self._rng.next_below(len(candidates))]
-        entry = self._tagged[comp][index]
-        entry.tag = tag
-        entry.stride = stride
+        _comp, index, tag = candidates[self._rng.next_below(len(candidates))]
+        self._t_tag[index] = tag
+        self._t_stride[index] = stride
         # §III-D-b's confidence propagation pays off at the *block* level
         # (correct slots of a partially wrong block keep their confidence);
         # at the instruction level the allocated prediction was wrong, so
         # propagation is off by default and ablatable.
-        entry.conf = provider_conf if self.propagate_confidence else 0
-        entry.useful = 0
-        entry.useful_gen = gen
+        self._t_conf[index] = provider_conf if self.propagate_confidence else 0
+        self._t_useful[index] = 0
+        self._t_ugen[index] = gen
 
     def _tick_useful_reset(self) -> None:
         # O(1) periodic reset: bumping the generation makes every entry's
@@ -333,19 +367,26 @@ class DVTAGEPredictor(ValuePredictor):
             self._updates_since_reset = 0
             self._useful_gen += 1
 
+    def _useful_value(self, index: int) -> int:
+        """Logical usefulness of the tagged entry at flat ``index``: a
+        stale generation reads as 0 (white-box test hook)."""
+        if self._t_ugen[index] == self._useful_gen:
+            return int(self._t_useful[index])
+        return 0
+
     def squash(self, surviving: dict[tuple[int, int], int] | None = None) -> None:
         """Flush repair: restore in-flight counts from the checkpoint (see
         :meth:`repro.predictors.stride._BaseStride.squash`)."""
         for index in self._spec_dirty:
-            self._lvt[index].inflight = 0
+            self._l_inflight[index] = 0
         self._spec_dirty.clear()
         if not surviving:
             return
         for (pc, uop_index), count in surviving.items():
             key = mix_pc(pc, uop_index)
-            lvt, index, tag = self._lvt_slot(key)
-            if lvt.tag == tag:
-                lvt.inflight = count
+            index, tag = self._lvt_slot(key)
+            if self._l_tag[index] == tag:
+                self._l_inflight[index] = count
                 self._spec_dirty.add(index)
 
     # -- reporting ----------------------------------------------------------

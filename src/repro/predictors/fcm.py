@@ -12,11 +12,16 @@ paper prefers VTAGE) is the serial two-level lookup: predicting instance
 result.  We model them *non-speculatively* — the history advances only at
 commit — which honestly reproduces their inability to predict back-to-back
 instances in tight loops.
+
+Table state lives in :mod:`repro.common.tables` banks; the VHT's per-entry
+history is a vector field of ``order`` lanes stored flat.
 """
 
 from __future__ import annotations
 
 from repro.common.bits import fold_bits, mask, to_signed, to_unsigned
+from repro.common.tables import Field, make_bank
+from repro.common.errors import ConfigError, require_positive, require_power_of_two
 from repro.predictors.base import (
     HistoryState,
     Prediction,
@@ -35,21 +40,10 @@ def _value_hash(value: int) -> int:
     return fold_bits(to_unsigned(value * 0x9E3779B97F4A7C15, 64), 64, _HASH_BITS)
 
 
-class _VHTEntry:
-    __slots__ = ("tag", "history", "last")
-
-    def __init__(self, order: int) -> None:
-        self.tag = -1
-        self.history = [0] * order
-        self.last = 0
-
-
-class _VPTEntry:
-    __slots__ = ("value", "conf")
-
-    def __init__(self) -> None:
-        self.value = 0
-        self.conf = 0
+VPT_FIELDS = (
+    Field("value", unsigned=True),
+    Field("conf"),
+)
 
 
 class FCMPredictor(ValuePredictor):
@@ -66,47 +60,71 @@ class FCMPredictor(ValuePredictor):
         tag_bits: int = 5,
         stride_bits: int = 64,
         fpc: FPCPolicy | None = None,
+        table_backend: str | None = None,
     ) -> None:
-        for n, what in ((vht_entries, "vht_entries"), (vpt_entries, "vpt_entries")):
-            if n <= 0 or n & (n - 1):
-                raise ValueError(f"{what} must be a power of two, got {n}")
-        if order < 1:
-            raise ValueError(f"order must be >= 1, got {order}")
         self.order = order
         self.vht_entries = vht_entries
         self.vpt_entries = vpt_entries
-        self.vht_index_bits = vht_entries.bit_length() - 1
-        self.vpt_index_bits = vpt_entries.bit_length() - 1
         self.tag_bits = tag_bits
         self.stride_bits = stride_bits
+        violations: list[str] = []
+        require_positive(
+            violations, self,
+            "order", "vht_entries", "vpt_entries", "tag_bits", "stride_bits",
+        )
+        require_power_of_two(violations, self, "vht_entries", "vpt_entries")
+        if violations:
+            raise ConfigError(type(self).__name__, violations)
+        self.vht_index_bits = vht_entries.bit_length() - 1
+        self.vpt_index_bits = vpt_entries.bit_length() - 1
         self.fpc = fpc if fpc is not None else FPCPolicy()
-        self._vht = [_VHTEntry(order) for _ in range(vht_entries)]
-        self._vpt = [_VPTEntry() for _ in range(vpt_entries)]
+        vht_fields = (
+            Field("tag", default=-1),
+            Field("history", width=order),
+            Field("last", unsigned=True),
+        )
+        self._vht = make_bank(vht_entries, vht_fields, backend=table_backend)
+        self._vpt = make_bank(vpt_entries, VPT_FIELDS, backend=table_backend)
+        self.table_backend = self._vht.backend
+        self._h_tag = self._vht.col("tag")
+        self._h_hist = self._vht.col("history")
+        self._h_last = self._vht.col("last")
+        self._p_value = self._vpt.col("value")
+        self._p_conf = self._vpt.col("conf")
 
-    def _vht_lookup(self, pc: int, uop_index: int) -> tuple[_VHTEntry, int]:
+    def _vht_lookup(self, pc: int, uop_index: int) -> tuple[int, int]:
         key = mix_pc(pc, uop_index)
-        entry = self._vht[table_index(key, self.vht_index_bits)]
+        index = table_index(key, self.vht_index_bits)
         tag = (key >> self.vht_index_bits) & mask(self.tag_bits)
-        return entry, tag
+        return index, tag
 
-    def _vpt_index(self, pc: int, history: list[int]) -> int:
+    def _vpt_index(self, pc: int, vht_index: int) -> int:
         acc = pc
-        for h in history:
-            acc = to_unsigned((acc << 5) ^ (acc >> 59) ^ h, 64)
+        hist = self._h_hist
+        base = vht_index * self.order
+        for lane in range(self.order):
+            acc = to_unsigned((acc << 5) ^ (acc >> 59) ^ int(hist[base + lane]), 64)
         return fold_bits(acc, 64, self.vpt_index_bits)
 
     def predict(
         self, pc: int, uop_index: int, hist: HistoryState
     ) -> Prediction | None:
-        vht, tag = self._vht_lookup(pc, uop_index)
-        if vht.tag != tag:
+        vht_index, tag = self._vht_lookup(pc, uop_index)
+        if self._h_tag[vht_index] != tag:
             return None
-        vpt = self._vpt[self._vpt_index(pc, vht.history)]
+        vpt_index = self._vpt_index(pc, vht_index)
+        stored = int(self._p_value[vpt_index])
         if self.differential:
-            value = to_unsigned(vht.last + to_signed(vpt.value, self.stride_bits), 64)
+            value = to_unsigned(
+                int(self._h_last[vht_index])
+                + to_signed(stored, self.stride_bits),
+                64,
+            )
         else:
-            value = vpt.value
-        return Prediction(value, self.fpc.is_confident(vpt.conf))
+            value = stored
+        return Prediction(
+            value, self.fpc.is_confident(int(self._p_conf[vpt_index]))
+        )
 
     def train(
         self,
@@ -116,28 +134,38 @@ class FCMPredictor(ValuePredictor):
         actual: int,
         prediction: Prediction | None,
     ) -> None:
-        vht, tag = self._vht_lookup(pc, uop_index)
-        if vht.tag != tag:
-            vht.tag = tag
-            vht.history = [0] * self.order
-            vht.last = actual
-            self._push_history(vht, actual)
+        vht_index, tag = self._vht_lookup(pc, uop_index)
+        if self._h_tag[vht_index] != tag:
+            self._h_tag[vht_index] = tag
+            base = vht_index * self.order
+            for lane in range(self.order):
+                self._h_hist[base + lane] = 0
+            self._h_last[vht_index] = actual
+            self._push_history(vht_index, actual)
             return
-        vpt = self._vpt[self._vpt_index(pc, vht.history)]
+        vpt_index = self._vpt_index(pc, vht_index)
         correct = prediction is not None and prediction.value == actual
-        vpt.conf = self.fpc.advance(vpt.conf) if correct else self.fpc.reset_level()
+        self._p_conf[vpt_index] = (
+            self.fpc.advance(int(self._p_conf[vpt_index]))
+            if correct
+            else self.fpc.reset_level()
+        )
         if self.differential:
-            vpt.value = to_unsigned(
-                to_signed(actual - vht.last, self.stride_bits), self.stride_bits
+            self._p_value[vpt_index] = to_unsigned(
+                to_signed(actual - int(self._h_last[vht_index]), self.stride_bits),
+                self.stride_bits,
             )
         else:
-            vpt.value = actual
-        vht.last = actual
-        self._push_history(vht, actual)
+            self._p_value[vpt_index] = actual
+        self._h_last[vht_index] = actual
+        self._push_history(vht_index, actual)
 
-    def _push_history(self, vht: _VHTEntry, value: int) -> None:
-        vht.history.pop(0)
-        vht.history.append(_value_hash(value))
+    def _push_history(self, vht_index: int, value: int) -> None:
+        base = vht_index * self.order
+        hist = self._h_hist
+        for lane in range(self.order - 1):
+            hist[base + lane] = hist[base + lane + 1]
+        hist[base + self.order - 1] = _value_hash(value)
 
     def storage_bits(self) -> int:
         vht_entry = self.tag_bits + self.order * _HASH_BITS

@@ -2,12 +2,15 @@
 
 Predicts that an instruction produces the same value as its previous
 instance.  Direct-mapped with small partial tags and FPC confidence; this is
-also the base component of VTAGE (untagged there).
+also the base component of VTAGE (untagged there).  Table state lives in a
+:mod:`repro.common.tables` bank (tag/value/conf columns).
 """
 
 from __future__ import annotations
 
 from repro.common.bits import mask
+from repro.common.tables import Field, make_bank
+from repro.common.errors import ConfigError, require_positive, require_power_of_two
 from repro.predictors.base import (
     HistoryState,
     Prediction,
@@ -17,14 +20,11 @@ from repro.predictors.base import (
 )
 from repro.predictors.confidence import FPCPolicy
 
-
-class _Entry:
-    __slots__ = ("tag", "value", "conf")
-
-    def __init__(self) -> None:
-        self.tag = -1          # -1 = never allocated
-        self.value = 0
-        self.conf = 0
+TABLE_FIELDS = (
+    Field("tag", default=-1),  # -1 = never allocated
+    Field("value", unsigned=True),
+    Field("conf"),
+)
 
 
 class LastValuePredictor(ValuePredictor):
@@ -38,29 +38,40 @@ class LastValuePredictor(ValuePredictor):
         tag_bits: int = 5,
         value_bits: int = 64,
         fpc: FPCPolicy | None = None,
+        table_backend: str | None = None,
     ) -> None:
-        if entries <= 0 or entries & (entries - 1):
-            raise ValueError(f"entries must be a power of two, got {entries}")
         self.entries = entries
-        self.index_bits = entries.bit_length() - 1
         self.tag_bits = tag_bits
         self.value_bits = value_bits
+        violations: list[str] = []
+        require_positive(violations, self, "entries", "tag_bits", "value_bits")
+        require_power_of_two(violations, self, "entries")
+        if violations:
+            raise ConfigError(type(self).__name__, violations)
+        self.index_bits = entries.bit_length() - 1
         self.fpc = fpc if fpc is not None else FPCPolicy()
-        self._table = [_Entry() for _ in range(entries)]
+        self._table = make_bank(entries, TABLE_FIELDS, backend=table_backend)
+        self.table_backend = self._table.backend
+        self._tag = self._table.col("tag")
+        self._value = self._table.col("value")
+        self._conf = self._table.col("conf")
 
-    def _lookup(self, pc: int, uop_index: int) -> tuple[_Entry, int]:
+    def _lookup(self, pc: int, uop_index: int) -> tuple[int, int]:
         key = mix_pc(pc, uop_index)
-        entry = self._table[table_index(key, self.index_bits)]
+        index = table_index(key, self.index_bits)
         tag = (key >> self.index_bits) & mask(self.tag_bits)
-        return entry, tag
+        return index, tag
 
     def predict(
         self, pc: int, uop_index: int, hist: HistoryState
     ) -> Prediction | None:
-        entry, tag = self._lookup(pc, uop_index)
-        if entry.tag != tag:
+        index, tag = self._lookup(pc, uop_index)
+        if self._tag[index] != tag:
             return None
-        return Prediction(entry.value, self.fpc.is_confident(entry.conf))
+        return Prediction(
+            int(self._value[index]),
+            self.fpc.is_confident(int(self._conf[index])),
+        )
 
     def train(
         self,
@@ -70,18 +81,18 @@ class LastValuePredictor(ValuePredictor):
         actual: int,
         prediction: Prediction | None,
     ) -> None:
-        entry, tag = self._lookup(pc, uop_index)
-        if entry.tag != tag:
+        index, tag = self._lookup(pc, uop_index)
+        if self._tag[index] != tag:
             # Allocate: steal the entry (direct-mapped, no usefulness).
-            entry.tag = tag
-            entry.value = actual
-            entry.conf = 0
+            self._tag[index] = tag
+            self._value[index] = actual
+            self._conf[index] = 0
             return
-        if entry.value == actual:
-            entry.conf = self.fpc.advance(entry.conf)
+        if self._value[index] == actual:
+            self._conf[index] = self.fpc.advance(int(self._conf[index]))
         else:
-            entry.conf = self.fpc.reset_level()
-            entry.value = actual
+            self._conf[index] = self.fpc.reset_level()
+            self._value[index] = actual
 
     def storage_bits(self) -> int:
         return self.entries * (self.tag_bits + self.value_bits + self.fpc.bits)

@@ -10,12 +10,15 @@ TAGE-structured descendant.
 
 This implementation mirrors our other instruction-based predictors: FPC
 confidence on the stride entries, fetch-time VHT claiming with instance
-counting for the speculative history, checkpointed squash repair.
+counting for the speculative history, checkpointed squash repair.  Table
+state lives in :mod:`repro.common.tables` banks (VHT + SHT).
 """
 
 from __future__ import annotations
 
 from repro.common.bits import mask, to_signed, to_unsigned
+from repro.common.tables import Field, make_bank
+from repro.common.errors import ConfigError, require_positive, require_power_of_two
 from repro.predictors.base import (
     HistoryState,
     Prediction,
@@ -26,23 +29,17 @@ from repro.predictors.base import (
 )
 from repro.predictors.confidence import FPCPolicy
 
+VHT_FIELDS = (
+    Field("tag", default=-1),
+    Field("valid"),
+    Field("last", unsigned=True),
+    Field("inflight"),
+)
 
-class _VHTEntry:
-    __slots__ = ("tag", "valid", "last", "inflight")
-
-    def __init__(self) -> None:
-        self.tag = -1
-        self.valid = False
-        self.last = 0
-        self.inflight = 0
-
-
-class _SHTEntry:
-    __slots__ = ("stride", "conf")
-
-    def __init__(self) -> None:
-        self.stride = 0
-        self.conf = 0
+SHT_FIELDS = (
+    Field("stride", unsigned=True),
+    Field("conf"),
+)
 
 
 class _TrainMeta:
@@ -65,20 +62,34 @@ class PerPathStridePredictor(ValuePredictor):
         stride_bits: int = 64,
         history_length: int = 16,
         fpc: FPCPolicy | None = None,
+        table_backend: str | None = None,
     ) -> None:
-        for n, what in ((vht_entries, "vht_entries"), (sht_entries, "sht_entries")):
-            if n <= 0 or n & (n - 1):
-                raise ValueError(f"{what} must be a power of two, got {n}")
         self.vht_entries = vht_entries
         self.sht_entries = sht_entries
-        self.vht_index_bits = vht_entries.bit_length() - 1
-        self.sht_index_bits = sht_entries.bit_length() - 1
         self.tag_bits = tag_bits
         self.stride_bits = stride_bits
         self.history_length = history_length
+        violations: list[str] = []
+        require_positive(
+            violations, self,
+            "vht_entries", "sht_entries", "tag_bits", "stride_bits",
+            "history_length",
+        )
+        require_power_of_two(violations, self, "vht_entries", "sht_entries")
+        if violations:
+            raise ConfigError(type(self).__name__, violations)
+        self.vht_index_bits = vht_entries.bit_length() - 1
+        self.sht_index_bits = sht_entries.bit_length() - 1
         self.fpc = fpc if fpc is not None else FPCPolicy()
-        self._vht = [_VHTEntry() for _ in range(vht_entries)]
-        self._sht = [_SHTEntry() for _ in range(sht_entries)]
+        self._vht = make_bank(vht_entries, VHT_FIELDS, backend=table_backend)
+        self._sht = make_bank(sht_entries, SHT_FIELDS, backend=table_backend)
+        self.table_backend = self._vht.backend
+        self._h_tag = self._vht.col("tag")
+        self._h_valid = self._vht.col("valid")
+        self._h_last = self._vht.col("last")
+        self._h_inflight = self._vht.col("inflight")
+        self._s_stride = self._sht.col("stride")
+        self._s_conf = self._sht.col("conf")
         self._spec_dirty: set[int] = set()
 
     def fold_geometry(
@@ -86,10 +97,10 @@ class PerPathStridePredictor(ValuePredictor):
     ) -> tuple[tuple[tuple[int, int], ...], tuple[tuple[int, int], ...]]:
         return ((self.history_length, self.sht_index_bits),), ()
 
-    def _vht_slot(self, key: int) -> tuple[_VHTEntry, int, int]:
+    def _vht_slot(self, key: int) -> tuple[int, int]:
         index = table_index(key, self.vht_index_bits)
         tag = (key >> self.vht_index_bits) & mask(self.tag_bits)
-        return self._vht[index], index, tag
+        return index, tag
 
     def _sht_index(self, key: int, hist: HistoryState) -> int:
         return tagged_index(key, hist, self.history_length, self.sht_index_bits)
@@ -98,24 +109,27 @@ class PerPathStridePredictor(ValuePredictor):
         self, pc: int, uop_index: int, hist: HistoryState
     ) -> Prediction | None:
         key = mix_pc(pc, uop_index)
-        vht, vht_index, vht_tag = self._vht_slot(key)
-        if vht.tag != vht_tag:
-            vht.tag = vht_tag
-            vht.valid = False
-            vht.inflight = 1
+        vht_index, vht_tag = self._vht_slot(key)
+        if self._h_tag[vht_index] != vht_tag:
+            self._h_tag[vht_index] = vht_tag
+            self._h_valid[vht_index] = 0
+            self._h_inflight[vht_index] = 1
             self._spec_dirty.add(vht_index)
             return None
-        vht.inflight += 1
+        self._h_inflight[vht_index] += 1
         self._spec_dirty.add(vht_index)
-        if not vht.valid:
+        if not self._h_valid[vht_index]:
             return None
         sht_index = self._sht_index(key, hist)
-        entry = self._sht[sht_index]
-        stride = to_signed(entry.stride, self.stride_bits)
-        value = to_unsigned(vht.last + stride * vht.inflight, 64)
+        stride = to_signed(int(self._s_stride[sht_index]), self.stride_bits)
+        value = to_unsigned(
+            int(self._h_last[vht_index])
+            + stride * int(self._h_inflight[vht_index]),
+            64,
+        )
         return Prediction(
             value,
-            self.fpc.is_confident(entry.conf),
+            self.fpc.is_confident(int(self._s_conf[sht_index])),
             meta=_TrainMeta(sht_index),
         )
 
@@ -128,47 +142,50 @@ class PerPathStridePredictor(ValuePredictor):
         prediction: Prediction | None,
     ) -> None:
         key = mix_pc(pc, uop_index)
-        vht, vht_index, vht_tag = self._vht_slot(key)
-        if vht.tag != vht_tag:
+        vht_index, vht_tag = self._vht_slot(key)
+        if self._h_tag[vht_index] != vht_tag:
             return  # entry re-claimed at fetch by another instruction
-        if vht.inflight > 0:
-            vht.inflight -= 1
-        if not vht.valid:
-            vht.valid = True
-            vht.last = actual
-            if vht.inflight == 0:
+        if self._h_inflight[vht_index] > 0:
+            self._h_inflight[vht_index] -= 1
+        if not self._h_valid[vht_index]:
+            self._h_valid[vht_index] = 1
+            self._h_last[vht_index] = actual
+            if self._h_inflight[vht_index] == 0:
                 self._spec_dirty.discard(vht_index)
             return
         observed = to_unsigned(
-            to_signed(actual - vht.last, self.stride_bits), self.stride_bits
+            to_signed(actual - int(self._h_last[vht_index]), self.stride_bits),
+            self.stride_bits,
         )
         if prediction is not None and isinstance(prediction.meta, _TrainMeta):
-            entry = self._sht[prediction.meta.sht_index]
+            sht_index = prediction.meta.sht_index
             if prediction.value == actual:
-                entry.conf = self.fpc.advance(entry.conf)
+                self._s_conf[sht_index] = self.fpc.advance(
+                    int(self._s_conf[sht_index])
+                )
             else:
-                entry.conf = self.fpc.reset_level()
-                entry.stride = observed
+                self._s_conf[sht_index] = self.fpc.reset_level()
+                self._s_stride[sht_index] = observed
         else:
             # No prediction was made (cold VHT at fetch): still install the
             # stride under the fetch-time path context.
-            entry = self._sht[self._sht_index(key, hist)]
-            entry.stride = observed
-            entry.conf = self.fpc.reset_level()
-        vht.last = actual
-        if vht.inflight == 0:
+            sht_index = self._sht_index(key, hist)
+            self._s_stride[sht_index] = observed
+            self._s_conf[sht_index] = self.fpc.reset_level()
+        self._h_last[vht_index] = actual
+        if self._h_inflight[vht_index] == 0:
             self._spec_dirty.discard(vht_index)
 
     def squash(self, surviving: dict[tuple[int, int], int] | None = None) -> None:
         for index in self._spec_dirty:
-            self._vht[index].inflight = 0
+            self._h_inflight[index] = 0
         self._spec_dirty.clear()
         if not surviving:
             return
         for (pc, uop_index), count in surviving.items():
-            vht, index, tag = self._vht_slot(mix_pc(pc, uop_index))
-            if vht.tag == tag:
-                vht.inflight = count
+            index, tag = self._vht_slot(mix_pc(pc, uop_index))
+            if self._h_tag[index] == tag:
+                self._h_inflight[index] = count
                 self._spec_dirty.add(index)
 
     def storage_bits(self) -> int:

@@ -14,11 +14,16 @@ entry tracks how many instances are in flight and predicts
 ``last + (k+1) * stride``; the counts are restored from a checkpoint on
 pipeline squashes (DESIGN.md §5).  The realistic, block-based speculative
 window is :mod:`repro.bebop.spec_window`.
+
+Table state lives in a :mod:`repro.common.tables` bank; strides are stored
+sign-extended (signed columns), last values pre-masked (unsigned column).
 """
 
 from __future__ import annotations
 
-from repro.common.bits import mask, sign_extend, to_signed, to_unsigned
+from repro.common.bits import mask, to_signed, to_unsigned
+from repro.common.tables import Field, make_bank
+from repro.common.errors import ConfigError, require_positive, require_power_of_two
 from repro.predictors.base import (
     HistoryState,
     Prediction,
@@ -28,18 +33,15 @@ from repro.predictors.base import (
 )
 from repro.predictors.confidence import FPCPolicy
 
-
-class _StrideEntry:
-    __slots__ = ("tag", "valid", "last", "stride1", "stride2", "conf", "inflight")
-
-    def __init__(self) -> None:
-        self.tag = -1
-        self.valid = False     # last value observed at least once
-        self.last = 0
-        self.stride1 = 0       # most recently observed stride
-        self.stride2 = 0       # predicting stride (2-delta: promoted copy)
-        self.conf = 0
-        self.inflight = 0      # in-flight instances (speculative history)
+TABLE_FIELDS = (
+    Field("tag", default=-1),
+    Field("valid"),              # last value observed at least once (0/1)
+    Field("last", unsigned=True),
+    Field("stride1"),            # most recently observed stride (signed)
+    Field("stride2"),            # predicting stride (2-delta: promoted copy)
+    Field("conf"),
+    Field("inflight"),           # in-flight instances (speculative history)
+)
 
 
 class _BaseStride(ValuePredictor):
@@ -53,51 +55,64 @@ class _BaseStride(ValuePredictor):
         tag_bits: int = 5,
         stride_bits: int = 64,
         fpc: FPCPolicy | None = None,
+        table_backend: str | None = None,
     ) -> None:
-        if entries <= 0 or entries & (entries - 1):
-            raise ValueError(f"entries must be a power of two, got {entries}")
         self.entries = entries
-        self.index_bits = entries.bit_length() - 1
         self.tag_bits = tag_bits
         self.stride_bits = stride_bits
+        violations: list[str] = []
+        require_positive(violations, self, "entries", "tag_bits", "stride_bits")
+        require_power_of_two(violations, self, "entries")
+        if violations:
+            raise ConfigError(type(self).__name__, violations)
+        self.index_bits = entries.bit_length() - 1
         self.fpc = fpc if fpc is not None else FPCPolicy()
-        self._table = [_StrideEntry() for _ in range(entries)]
+        self._table = make_bank(entries, TABLE_FIELDS, backend=table_backend)
+        self.table_backend = self._table.backend
+        self._tag = self._table.col("tag")
+        self._valid = self._table.col("valid")
+        self._last = self._table.col("last")
+        self._stride1 = self._table.col("stride1")
+        self._stride2 = self._table.col("stride2")
+        self._conf = self._table.col("conf")
+        self._inflight = self._table.col("inflight")
         # Entries whose speculative state diverged from committed state;
         # reset on squash without walking the whole table.
         self._spec_dirty: set[int] = set()
 
-    def _lookup(self, pc: int, uop_index: int) -> tuple[_StrideEntry, int, int]:
+    def _lookup(self, pc: int, uop_index: int) -> tuple[int, int]:
         key = mix_pc(pc, uop_index)
         index = table_index(key, self.index_bits)
         tag = (key >> self.index_bits) & mask(self.tag_bits)
-        return self._table[index], index, tag
+        return index, tag
 
     def _truncate_stride(self, stride: int) -> int:
         """Store a (possibly partial) stride: keep the low bits, signed."""
         return to_signed(stride, self.stride_bits)
 
-    def _predicting_stride(self, entry: _StrideEntry) -> int:
-        return entry.stride2 if self.two_delta else entry.stride1
+    def _predicting_stride(self, index: int) -> int:
+        col = self._stride2 if self.two_delta else self._stride1
+        return int(col[index])
 
     def predict(
         self, pc: int, uop_index: int, hist: HistoryState
     ) -> Prediction | None:
-        entry, index, tag = self._lookup(pc, uop_index)
-        if entry.tag != tag:
+        index, tag = self._lookup(pc, uop_index)
+        if self._tag[index] != tag:
             # Claim the entry at fetch so every in-flight instance is
             # counted from the very first one; the last value arrives with
             # the first commit.
-            entry.tag = tag
-            entry.valid = False
-            entry.stride1 = 0
-            entry.stride2 = 0
-            entry.conf = 0
-            entry.inflight = 1
+            self._tag[index] = tag
+            self._valid[index] = 0
+            self._stride1[index] = 0
+            self._stride2[index] = 0
+            self._conf[index] = 0
+            self._inflight[index] = 1
             self._spec_dirty.add(index)
             return None
-        entry.inflight += 1
+        self._inflight[index] += 1
         self._spec_dirty.add(index)
-        if not entry.valid:
+        if not self._valid[index]:
             return None
         # Idealistic speculative history at the instruction granularity (the
         # paper's baseline assumption for non-BeBoP predictors): with k older
@@ -105,9 +120,11 @@ class _BaseStride(ValuePredictor):
         # the classic instance-counting formulation; the realistic
         # alternative (chaining stored predicted values) is what the BeBoP
         # speculative window models.
-        stride = self._predicting_stride(entry)
-        value = to_unsigned(entry.last + stride * entry.inflight, 64)
-        return Prediction(value, self.fpc.is_confident(entry.conf))
+        stride = self._predicting_stride(index)
+        value = to_unsigned(
+            int(self._last[index]) + stride * int(self._inflight[index]), 64
+        )
+        return Prediction(value, self.fpc.is_confident(int(self._conf[index])))
 
     def train(
         self,
@@ -117,30 +134,34 @@ class _BaseStride(ValuePredictor):
         actual: int,
         prediction: Prediction | None,
     ) -> None:
-        entry, index, tag = self._lookup(pc, uop_index)
-        if entry.tag != tag:
+        index, tag = self._lookup(pc, uop_index)
+        if self._tag[index] != tag:
             # The entry was re-claimed by another instruction at fetch;
             # this stale update must not corrupt it.
             return
-        if entry.inflight > 0:
-            entry.inflight -= 1
-        if not entry.valid:
-            entry.valid = True
-            entry.last = actual
-            if entry.inflight == 0:
+        if self._inflight[index] > 0:
+            self._inflight[index] -= 1
+        if not self._valid[index]:
+            self._valid[index] = 1
+            self._last[index] = actual
+            if self._inflight[index] == 0:
                 self._spec_dirty.discard(index)
             return
-        observed = self._truncate_stride(actual - entry.last)
+        observed = self._truncate_stride(actual - int(self._last[index]))
         if self.two_delta:
-            if observed == entry.stride1:
-                entry.stride2 = observed
-            entry.stride1 = observed
+            if observed == self._stride1[index]:
+                self._stride2[index] = observed
+            self._stride1[index] = observed
         else:
-            entry.stride1 = observed
+            self._stride1[index] = observed
         correct = prediction is not None and prediction.value == actual
-        entry.conf = self.fpc.advance(entry.conf) if correct else self.fpc.reset_level()
-        entry.last = actual
-        if entry.inflight == 0:
+        self._conf[index] = (
+            self.fpc.advance(int(self._conf[index]))
+            if correct
+            else self.fpc.reset_level()
+        )
+        self._last[index] = actual
+        if self._inflight[index] == 0:
             self._spec_dirty.discard(index)
 
     def squash(self, surviving: dict[tuple[int, int], int] | None = None) -> None:
@@ -151,14 +172,14 @@ class _BaseStride(ValuePredictor):
         every later prediction under-extrapolates by a constant.
         """
         for index in self._spec_dirty:
-            self._table[index].inflight = 0
+            self._inflight[index] = 0
         self._spec_dirty.clear()
         if not surviving:
             return
         for (pc, uop_index), count in surviving.items():
-            entry, index, tag = self._lookup(pc, uop_index)
-            if entry.tag == tag:
-                entry.inflight = count
+            index, tag = self._lookup(pc, uop_index)
+            if self._tag[index] == tag:
+                self._inflight[index] = count
                 self._spec_dirty.add(index)
 
     def storage_bits(self) -> int:

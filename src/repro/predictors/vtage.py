@@ -11,12 +11,18 @@ Because every entry stores a *full value* and is indexed by history, VTAGE
 needs no speculative window and has no prediction critical path — but it
 cannot capture strided series (each instance needs its own entry), which is
 what D-VTAGE fixes.
+
+Table state lives in :mod:`repro.common.tables` banks: the base component
+is one bank (value/conf columns) and all tagged components share one flat
+bank (tag/value/conf/useful/useful_gen columns) addressed by
+``comp * tagged_entries + index``.
 """
 
 from __future__ import annotations
 
-from repro.common.bits import mask
 from repro.common.rng import XorShift64
+from repro.common.tables import Field, make_bank
+from repro.common.errors import ConfigError, require_positive, require_power_of_two
 from repro.predictors.base import (
     HistoryState,
     Prediction,
@@ -47,25 +53,22 @@ def geometric_history_lengths(
     return tuple(lengths)
 
 
-class _BaseEntry:
-    __slots__ = ("value", "conf")
+#: Tagless base component: a last-value predictor with FPC confidence.
+BASE_FIELDS = (
+    Field("value", unsigned=True),
+    Field("conf"),
+)
 
-    def __init__(self) -> None:
-        self.value = 0
-        self.conf = 0
-
-
-class _TaggedEntry:
-    __slots__ = ("tag", "value", "conf", "useful", "useful_gen")
-
-    def __init__(self) -> None:
-        self.tag = -1
-        self.value = 0
-        self.conf = 0
-        self.useful = 0
-        # Generation the useful bit was last written in; a stale generation
-        # reads as useful == 0, making the periodic reset O(1).
-        self.useful_gen = 0
+#: Partially tagged components, flattened across components.
+TAGGED_FIELDS = (
+    Field("tag", default=-1),
+    Field("value", unsigned=True),
+    Field("conf"),
+    Field("useful"),
+    # Generation the useful bit was last written in; a stale generation
+    # reads as useful == 0, making the periodic reset O(1).
+    Field("useful_gen"),
+)
 
 
 class _TrainMeta:
@@ -101,13 +104,19 @@ class VTAGEPredictor(ValuePredictor):
         fpc: FPCPolicy | None = None,
         useful_reset_period: int = 8192,
         seed: int = 0x7A6E,
+        table_backend: str | None = None,
     ) -> None:
-        for n, what in ((base_entries, "base"), (tagged_entries, "tagged")):
-            if n <= 0 or n & (n - 1):
-                raise ValueError(f"{what} entry count must be a power of two, got {n}")
         self.base_entries = base_entries
         self.tagged_entries = tagged_entries
         self.components = components
+        violations: list[str] = []
+        require_positive(
+            violations, self,
+            "base_entries", "tagged_entries", "components",
+        )
+        require_power_of_two(violations, self, "base_entries", "tagged_entries")
+        if violations:
+            raise ConfigError(type(self).__name__, violations)
         self.base_index_bits = base_entries.bit_length() - 1
         self.tagged_index_bits = tagged_entries.bit_length() - 1
         self.tag_bits = tuple(first_tag_bits + i for i in range(components))
@@ -115,11 +124,19 @@ class VTAGEPredictor(ValuePredictor):
             components, min_history, max_history
         )
         self.fpc = fpc if fpc is not None else FPCPolicy()
-        self._base = [_BaseEntry() for _ in range(base_entries)]
-        self._tagged = [
-            [_TaggedEntry() for _ in range(tagged_entries)]
-            for _ in range(components)
-        ]
+        self._base = make_bank(base_entries, BASE_FIELDS, backend=table_backend)
+        self._tagged = make_bank(
+            components * tagged_entries, TAGGED_FIELDS, backend=table_backend
+        )
+        self.table_backend = self._base.backend
+        # Hot-path column references (stable identity for the bank's life).
+        self._b_value = self._base.col("value")
+        self._b_conf = self._base.col("conf")
+        self._t_tag = self._tagged.col("tag")
+        self._t_value = self._tagged.col("value")
+        self._t_conf = self._tagged.col("conf")
+        self._t_useful = self._tagged.col("useful")
+        self._t_ugen = self._tagged.col("useful_gen")
         self._rng = XorShift64(seed)
         self._useful_reset_period = useful_reset_period
         self._updates_since_reset = 0
@@ -136,24 +153,22 @@ class VTAGEPredictor(ValuePredictor):
 
     # -- lookups -----------------------------------------------------------
 
-    def _base_entry(self, key: int) -> _BaseEntry:
-        return self._base[table_index(key, self.base_index_bits)]
-
     def _component_slot(
         self, comp: int, key: int, hist: HistoryState
     ) -> tuple[int, int]:
-        """(index, tag) of ``key`` in tagged component ``comp``."""
+        """(flat index, tag) of ``key`` in tagged component ``comp``."""
         length = self.history_lengths[comp]
         index = tagged_index(key, hist, length, self.tagged_index_bits)
         tag = tagged_tag(key, hist, length, self.tag_bits[comp])
-        return index, tag
+        return comp * self.tagged_entries + index, tag
 
     def _hits(self, key: int, hist: HistoryState) -> list[tuple[int, int, int]]:
-        """All hitting tagged components as (comp, index, tag), ascending."""
+        """All hitting tagged components as (comp, flat index, tag), ascending."""
         hits = []
+        t_tag = self._t_tag
         for comp in range(self.components):
             index, tag = self._component_slot(comp, key, hist)
-            if self._tagged[comp][index].tag == tag:
+            if t_tag[index] == tag:
                 hits.append((comp, index, tag))
         return hits
 
@@ -164,28 +179,31 @@ class VTAGEPredictor(ValuePredictor):
     ) -> Prediction | None:
         key = mix_pc(pc, uop_index)
         hits = self._hits(key, hist)
-        base = self._base_entry(key)
+        base_index = table_index(key, self.base_index_bits)
         if hits:
             comp, index, tag = hits[-1]
-            entry = self._tagged[comp][index]
+            value = int(self._t_value[index])
+            conf = int(self._t_conf[index])
             if len(hits) > 1:
-                alt_comp, alt_index, _ = hits[-2]
-                alt_value = self._tagged[alt_comp][alt_index].value
+                _alt_comp, alt_index, _ = hits[-2]
+                alt_value = int(self._t_value[alt_index])
             else:
-                alt_value = base.value
+                alt_value = int(self._b_value[base_index])
             return Prediction(
-                entry.value,
-                self.fpc.is_confident(entry.conf),
+                value,
+                self.fpc.is_confident(conf),
                 provider=comp + 1,
-                conf=entry.conf,
+                conf=conf,
                 meta=_TrainMeta(comp + 1, index, tag, alt_value),
             )
+        value = int(self._b_value[base_index])
+        conf = int(self._b_conf[base_index])
         return Prediction(
-            base.value,
-            self.fpc.is_confident(base.conf),
+            value,
+            self.fpc.is_confident(conf),
             provider=0,
-            conf=base.conf,
-            meta=_TrainMeta(0, table_index(key, self.base_index_bits), 0, base.value),
+            conf=conf,
+            meta=_TrainMeta(0, base_index, 0, value),
         )
 
     # -- training -----------------------------------------------------------
@@ -201,32 +219,34 @@ class VTAGEPredictor(ValuePredictor):
         key = mix_pc(pc, uop_index)
         if prediction is None or not isinstance(prediction.meta, _TrainMeta):
             # Cold structure: just install into the base component.
-            base = self._base_entry(key)
-            base.value = actual
-            base.conf = 0
+            base_index = table_index(key, self.base_index_bits)
+            self._b_value[base_index] = actual
+            self._b_conf[base_index] = 0
             return
         meta: _TrainMeta = prediction.meta
         correct = prediction.value == actual
         if meta.provider == 0:
-            base = self._base[meta.index]
+            index = meta.index
             if correct:
-                base.conf = self.fpc.advance(base.conf)
+                self._b_conf[index] = self.fpc.advance(int(self._b_conf[index]))
             else:
-                base.conf = self.fpc.reset_level()
-                base.value = actual
+                self._b_conf[index] = self.fpc.reset_level()
+                self._b_value[index] = actual
         else:
-            comp = meta.provider - 1
-            entry = self._tagged[comp][meta.index]
-            if entry.tag == meta.tag:
+            index = meta.index
+            if self._t_tag[index] == meta.tag:
                 if correct:
-                    entry.conf = self.fpc.advance(entry.conf)
-                    # Useful iff correct and the alternate disagreed.
-                    entry.useful = 1 if meta.alt_value != entry.value else 0
+                    self._t_conf[index] = self.fpc.advance(int(self._t_conf[index]))
+                    # Useful iff correct and the alternate disagreed with the
+                    # entry's current value (which later trains may have moved).
+                    self._t_useful[index] = (
+                        1 if meta.alt_value != self._t_value[index] else 0
+                    )
                 else:
-                    entry.conf = self.fpc.reset_level()
-                    entry.value = actual
-                    entry.useful = 0
-                entry.useful_gen = self._useful_gen
+                    self._t_conf[index] = self.fpc.reset_level()
+                    self._t_value[index] = actual
+                    self._t_useful[index] = 0
+                self._t_ugen[index] = self._useful_gen
         if not correct:
             self._allocate(key, hist, meta.provider, actual)
         self._tick_useful_reset()
@@ -242,22 +262,19 @@ class VTAGEPredictor(ValuePredictor):
         for comp in range(start, self.components):
             index, tag = self._component_slot(comp, key, hist)
             slots.append((comp, index, tag))
-            entry = self._tagged[comp][index]
-            if entry.useful == 0 or entry.useful_gen != gen:
+            if self._t_useful[index] == 0 or self._t_ugen[index] != gen:
                 candidates.append((comp, index, tag))
         if not candidates:
-            for comp, index, _tag in slots:
-                entry = self._tagged[comp][index]
-                entry.useful = 0
-                entry.useful_gen = gen
+            for _comp, index, _tag in slots:
+                self._t_useful[index] = 0
+                self._t_ugen[index] = gen
             return
-        comp, index, tag = candidates[self._rng.next_below(len(candidates))]
-        entry = self._tagged[comp][index]
-        entry.tag = tag
-        entry.value = actual
-        entry.conf = self._allocation_confidence()
-        entry.useful = 0
-        entry.useful_gen = gen
+        _comp, index, tag = candidates[self._rng.next_below(len(candidates))]
+        self._t_tag[index] = tag
+        self._t_value[index] = actual
+        self._t_conf[index] = self._allocation_confidence()
+        self._t_useful[index] = 0
+        self._t_ugen[index] = gen
 
     def _allocation_confidence(self) -> int:
         """Confidence level installed in a freshly allocated entry."""
@@ -271,13 +288,16 @@ class VTAGEPredictor(ValuePredictor):
             self._updates_since_reset = 0
             self._useful_gen += 1
 
-    def _useful_value(self, entry: _TaggedEntry) -> int:
-        """Logical usefulness of an entry: a stale generation reads as 0.
+    def _useful_value(self, index: int) -> int:
+        """Logical usefulness of the tagged entry at flat ``index``: a
+        stale generation reads as 0.
 
         The hot paths inline this check; white-box tests use it to observe
         the post-reset state without depending on the representation.
         """
-        return entry.useful if entry.useful_gen == self._useful_gen else 0
+        if self._t_ugen[index] == self._useful_gen:
+            return int(self._t_useful[index])
+        return 0
 
     # -- reporting ----------------------------------------------------------
 

@@ -1,7 +1,6 @@
 """Tests for the observability layer (registry, trace, CPI stacks, merge)."""
 
 import json
-import warnings
 
 import pytest
 
@@ -373,7 +372,7 @@ class TestCPIStack:
 
 
 # ---------------------------------------------------------------------------
-# SimStats: metrics attachment and the deprecated extra view.
+# SimStats: metrics attachment.
 # ---------------------------------------------------------------------------
 
 class TestSimStatsMetrics:
@@ -383,19 +382,6 @@ class TestSimStatsMetrics:
         assert a == b
         assert a.metrics == {"bebop/spec_window/uses": 5}
         assert b.metrics == {}
-
-    def test_extra_is_deprecated_read_through(self):
-        stats = SimStats()
-        stats.attach_metrics({"n": 3})
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            assert stats.extra == {"n": 3}
-
-    def test_extra_legacy_writes_still_work(self):
-        stats = SimStats()
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            stats.extra["legacy"] = 1.5
-            assert stats.extra["legacy"] == 1.5
 
 
 # ---------------------------------------------------------------------------

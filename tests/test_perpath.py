@@ -63,8 +63,8 @@ class TestPerPathStride:
         for _ in range(4):
             p.predict(PC, 0, hist)
         p.squash({(PC, 0): 1})
-        vht, _, _ = p._vht_slot(PC)
-        assert vht.inflight == 1
+        idx, _ = p._vht_slot(PC)
+        assert p._h_inflight[idx] == 1
 
     def test_storage(self):
         p = PerPathStridePredictor(vht_entries=1024, sht_entries=1024,

@@ -109,8 +109,8 @@ class TestStridePredictors:
             pred = p.predict(PC, 0, hist)
             p.train(PC, 0, hist, value, pred)
         # Predicting stride must be back to (or still) 7.
-        entry, _, _ = p._lookup(PC, 0)
-        assert p._predicting_stride(entry) == 7
+        index, _ = p._lookup(PC, 0)
+        assert p._predicting_stride(index) == 7
 
     def test_partial_stride_wraps(self):
         """An 8-bit stride predictor cannot express stride 300."""
@@ -154,8 +154,8 @@ class TestStridePredictors:
         for _ in range(5):
             p.predict(PC, 0, hist)
         p.squash({(PC, 0): 2})
-        entry, _, _ = p._lookup(PC, 0)
-        assert entry.inflight == 2
+        index, _ = p._lookup(PC, 0)
+        assert p._inflight[index] == 2
 
 
 class TestVTAGE:

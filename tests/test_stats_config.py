@@ -133,12 +133,18 @@ class TestCoreConfigValidation:
         assert len(info.value.violations) == 1
 
 
-class TestExtraIsTestOnly:
-    def test_no_production_code_reads_simstats_extra(self):
-        """``SimStats.extra`` is a deprecated read-through view kept for
-        test compatibility only: no production module under ``src/repro``
-        may reference it (grep-style, so a reintroduction fails loudly
-        rather than deprecation-warning quietly)."""
+class TestExtraIsGone:
+    def test_simstats_has_no_extra_view(self):
+        """The deprecated ``SimStats.extra`` read-through view is deleted:
+        ad-hoc counters belong in :mod:`repro.obs` namespaced metrics.
+        Guard against reintroduction under the old name."""
+        stats = SimStats()
+        assert not hasattr(stats, "extra")
+        assert not hasattr(stats, "_extra")
+
+    def test_no_production_code_references_extra(self):
+        """No module under ``src/repro`` may reference ``.extra`` at all
+        (grep-style, so a reintroduction fails loudly)."""
         import re
         from pathlib import Path
 
@@ -149,14 +155,12 @@ class TestExtraIsTestOnly:
         offenders = []
         for path in sorted(src_root.rglob("*.py")):
             rel = path.relative_to(src_root).as_posix()
-            if rel == "pipeline/stats.py":
-                continue  # the definition of the deprecated view itself
             for lineno, line in enumerate(
                 path.read_text().splitlines(), start=1
             ):
                 if pattern.search(line):
                     offenders.append(f"{rel}:{lineno}: {line.strip()}")
         assert not offenders, (
-            "production code must not read SimStats.extra:\n"
+            "production code must not reference SimStats.extra:\n"
             + "\n".join(offenders)
         )

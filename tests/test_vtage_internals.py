@@ -31,14 +31,10 @@ class TestVTAGEAllocation:
         for _ in range(5):
             pred = p.predict(PC, 0, hist)
             p.train(PC, 0, hist, 100, pred)
-        allocated_before = sum(
-            1 for comp in p._tagged for e in comp if e.tag != -1
-        )
+        allocated_before = sum(1 for t in p._t_tag if t != -1)
         pred = p.predict(PC, 0, hist)
         p.train(PC, 0, hist, 999, pred)  # mispredict
-        allocated_after = sum(
-            1 for comp in p._tagged for e in comp if e.tag != -1
-        )
+        allocated_after = sum(1 for t in p._t_tag if t != -1)
         assert allocated_after > allocated_before
 
     def test_value_installed_after_mispredict(self):
@@ -59,14 +55,16 @@ class TestVTAGEAllocation:
         # reset period: every entry must read as not-useful again.  The
         # reset is a generation bump, not a table walk, so observe through
         # the logical accessor.
-        for comp in p._tagged:
-            comp[0].useful = 1
-            comp[0].useful_gen = p._useful_gen
-        assert any(p._useful_value(e) == 1 for comp in p._tagged for e in comp)
+        all_slots = range(p.components * p.tagged_entries)
+        for comp in range(p.components):
+            first = comp * p.tagged_entries
+            p._t_useful[first] = 1
+            p._t_ugen[first] = p._useful_gen
+        assert any(p._useful_value(i) == 1 for i in all_slots)
         for i in range(12):
             pred = p.predict(PC + 8 * i, 0, hist)
             p.train(PC + 8 * i, 0, hist, i, pred)
-        assert all(p._useful_value(e) == 0 for comp in p._tagged for e in comp)
+        assert all(p._useful_value(i) == 0 for i in all_slots)
 
 
 class TestDVTAGEInternals:
@@ -76,9 +74,9 @@ class TestDVTAGEInternals:
         assert p.predict(PC, 0, hist) is None  # claims the entry
         from repro.predictors.base import mix_pc, table_index
         idx = table_index(mix_pc(PC, 0), p.base_index_bits)
-        assert p._lvt[idx].tag != -1
-        assert p._lvt[idx].inflight == 1
-        assert not p._lvt[idx].valid
+        assert p._l_tag[idx] != -1
+        assert p._l_inflight[idx] == 1
+        assert not p._l_valid[idx]
 
     def test_stale_train_after_steal_ignored(self):
         p = DVTAGEPredictor()
@@ -95,9 +93,9 @@ class TestDVTAGEInternals:
                 break
         assert other is not None
         p.predict(other, 0, hist)  # steals the entry
-        tag_after_steal = p._lvt[idx].tag
+        tag_after_steal = p._l_tag[idx]
         p.train(PC, 0, hist, 123, None)  # stale train for the old owner
-        assert p._lvt[idx].tag == tag_after_steal  # unchanged
+        assert p._l_tag[idx] == tag_after_steal  # unchanged
 
     def test_propagate_confidence_flag(self):
         on = DVTAGEPredictor(propagate_confidence=True)
