@@ -1,0 +1,30 @@
+"""Wall-clock of the ``h2p`` attribution experiment.
+
+Runs the hard-to-predict PC-attribution experiment (CPI stack + per-PC
+attribution + bank telemetry riding one BeBoP simulation per workload) at
+bench scale, so ``BENCH_timeline.json`` tracks what the observability
+tentpole costs over time.  The run also re-asserts the two cheap
+correctness gates — exact-sum against the CPI stack and the ≥80% top-10
+concentration on the ``h2p_hard`` kernel — because a bench that got fast
+by dropping cycles would be worthless.
+"""
+
+from conftest import BENCH_UOPS, BENCH_WARMUP, run_once
+from repro.eval import experiments
+from repro.eval.runner import RunSpec
+
+H2P_SPEC = RunSpec(uops=BENCH_UOPS, warmup=BENCH_WARMUP,
+                   workloads=("swim", "gobmk"))
+
+
+def test_bench_h2p(benchmark):
+    result = run_once(benchmark, experiments.h2p, H2P_SPEC,
+                      bank_interval=10_000)
+    assert set(result) == {"swim", "gobmk", "h2p_hard"}
+    for name, row in result.items():
+        stack = row["stack"]
+        want = (stack.components["vp_squash"]
+                + stack.components["branch_redirect"])
+        assert row["attribution"]["attributed_cycles"] == want, name
+        assert row["banks"]["snapshots"] >= 2
+    assert result["h2p_hard"]["attribution"]["shares"][10] >= 0.80

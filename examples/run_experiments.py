@@ -10,10 +10,15 @@ the long one — a warm re-run completes in seconds.  Use --quick for a
 reduced sanity run and --no-cache to force recomputation.
 
 With ``--obs`` the run is instrumented by the :mod:`repro.obs`
-observability layer: a CPI-stack section is appended to the report
-(cycle attribution per workload/configuration), key execution metrics
-are printed, and ``--obs-out PATH`` additionally exports the event
-trace as JSONL (first line: the full metrics snapshot).
+observability layer: CPI-stack, provenance and H2P-attribution sections
+are appended to the report (cycle attribution per
+workload/configuration, plus the worst hard-to-predict PCs and their
+share of squash/redirect recovery cycles), key execution metrics are
+printed, and ``--obs-out PATH`` additionally exports the event trace as
+JSONL (first line: the full metrics snapshot).  ``--metrics-out PATH``
+writes the final metrics registry as a Prometheus text exposition;
+``--bank-telemetry`` (with ``--bank-interval N``) samples predictor
+table-bank occupancy/utility during the H2P runs.
 
 With ``--timeline OUT`` one additional short traced simulation (BeBoP
 on EOLE_4_60, first workload of the run) is recorded per-µop by a
@@ -46,6 +51,9 @@ Run:  python examples/run_experiments.py [--quick] [--jobs N] [--no-cache]
                                          [--obs] [--obs-out trace.jsonl]
                                          [--timeline OUT.json]
                                          [--timeline-format chrome|konata]
+                                         [--metrics-out metrics.prom]
+                                         [--bank-telemetry]
+                                         [--bank-interval N]
                                          [--resume journal.jsonl]
                                          [--chaos k=v,...]
 """
@@ -98,6 +106,18 @@ def main() -> int:
                         help="run one short traced simulation and write the "
                              "per-µop pipeline timeline to PATH "
                              "(implies --obs)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the final metrics registry as a "
+                             "Prometheus text exposition (v0.0.4) to PATH "
+                             "(implies --obs)")
+    parser.add_argument("--bank-telemetry", action="store_true",
+                        help="sample every predictor table bank during the "
+                             "h2p experiment (occupancy / tag-valid / "
+                             "useful-bit snapshots; implies --obs)")
+    parser.add_argument("--bank-interval", type=int, default=10_000,
+                        metavar="UOPS",
+                        help="µ-ops between bank-telemetry snapshots "
+                             "(default 10000; only with --bank-telemetry)")
     parser.add_argument("--timeline-format", default="chrome",
                         choices=("chrome", "konata"),
                         help="timeline export format: Chrome trace_event "
@@ -126,8 +146,10 @@ def main() -> int:
                              "bit-identical either way, so cached cells "
                              "computed on one backend satisfy the other")
     args = parser.parse_args()
-    if args.obs_out or args.timeline:
+    if args.obs_out or args.timeline or args.metrics_out or args.bank_telemetry:
         args.obs = True
+    if args.bank_interval < 1:
+        parser.error(f"--bank-interval must be >= 1, got {args.bank_interval}")
 
     try:
         validate_experiment_ids(args.skip)
@@ -277,6 +299,12 @@ def main() -> int:
             experiments.cpi_stack(spec)))
         section("provenance", lambda: reporting.render_provenance(
             experiments.provenance(spec)))
+        section("h2p", lambda: reporting.render_h2p(
+            experiments.h2p(
+                spec,
+                bank_interval=(args.bank_interval
+                               if args.bank_telemetry else None),
+            )))
 
     report = ("\n\n" + "=" * 78 + "\n\n").join(sections)
     print()
@@ -328,6 +356,13 @@ def main() -> int:
                      if buf.dropped else ""))
         if args.timeline:
             export_timeline(args.timeline, args.timeline_format, spec)
+        if args.metrics_out:
+            _ensure_parent(args.metrics_out)
+            exposition = obs.registry().to_prometheus()
+            with open(args.metrics_out, "w") as f:
+                f.write(exposition)
+            print(f"[obs ] {len(exposition.splitlines())} Prometheus "
+                  f"exposition line(s) written to {args.metrics_out}")
     return 0
 
 

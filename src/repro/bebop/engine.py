@@ -85,6 +85,11 @@ class BeBoPEngine:
     def storage_backend(self) -> str:
         return self.predictor.table_backend
 
+    def table_banks(self) -> tuple[dict, ...]:
+        """Bank descriptions for :class:`repro.obs.BankTelemetry` — the
+        pipeline attaches these when a run carries a ``banks`` collector."""
+        return self.predictor.table_banks()
+
     def _provider_counter(self, provider: int):
         m = self._m_providers.get(provider)
         if m is None:

@@ -438,6 +438,34 @@ class BlockDVTAGE:
 
     # -- reporting -------------------------------------------------------------
 
+    def _current_useful_gen(self) -> int:
+        return self._useful_gen
+
+    def table_banks(self) -> tuple[dict, ...]:
+        """Bank descriptions for :class:`repro.obs.BankTelemetry`
+        (kwargs dicts its ``register()`` accepts): the LVT, the VT-0 base
+        component, and the flat tagged bank sliced per component, with
+        useful-bit mass gated by the live generation counter."""
+        return (
+            {
+                "name": "lvt",
+                "bank": self._lvt,
+                "tag_field": "tag",
+                "tag_invalid": -1,
+            },
+            {"name": "vt0", "bank": self._vt0},
+            {
+                "name": "tagged",
+                "bank": self._tagged,
+                "components": self.config.components,
+                "tag_field": "tag",
+                "tag_invalid": -1,
+                "useful_field": "useful",
+                "useful_gen_field": "useful_gen",
+                "gen": self._current_useful_gen,
+            },
+        )
+
     def storage_bits(self) -> int:
         """Bit-exact Table III accounting (without the speculative window —
         see :meth:`repro.bebop.spec_window.SpeculativeWindow.storage_bits`)."""

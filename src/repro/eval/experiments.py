@@ -55,6 +55,7 @@ KNOWN_EXPERIMENTS = (
     "fig8",
     "cpi_stack",
     "provenance",
+    "h2p",
 )
 
 #: Fig 5a predictor line-up, in the paper's legend order.
@@ -518,5 +519,66 @@ def provenance(spec: RunSpec = RunSpec()) -> ExperimentResult:
         "provenance", rows,
         columns=("components", "window", "attribution", "predictions",
                  "squash_cost"),
+        spec=spec, meta=_meta_finish(start),
+    )
+
+
+# ---------------------------------------------------------------------------
+# H2P attribution — which static PCs own the recovery cycles
+# (repro.obs.attrib / repro.obs.banks observability layer)?
+# ---------------------------------------------------------------------------
+
+#: Top-k cut-offs the h2p experiment/report states per-PC shares for.
+H2P_SHARES = (1, 5, 10)
+
+
+def h2p(spec: RunSpec = RunSpec(), top_k: int = 32,
+        bank_interval: int | None = None) -> ExperimentResult:
+    """Hard-to-predict PC attribution (BeBoP on EOLE_4_60, DnRDnR).
+
+    Charges every ``vp_squash`` / ``branch_redirect`` recovery cycle of
+    the CPI stack to the static PC of the mispredicting µ-op and ranks
+    the worst offenders.  Rows are ``{workload: {category, stack,
+    attribution[, banks]}}``: the workload's suite category (workload
+    class), the run's :class:`~repro.obs.CPIStack` (so reports can state
+    what fraction of those components the top PCs own — per-PC cycles
+    sum exactly to ``vp_squash + branch_redirect``), the
+    :meth:`~repro.obs.PCAttribution.summary` roll-up, and — when
+    ``bank_interval`` is given — :class:`~repro.obs.BankTelemetry`
+    occupancy/utility snapshots on that µ-op cadence.  The H2P
+    concentration kernel ``h2p_hard`` is appended when the spec does not
+    already name it.  Like ``cpi_stack`` this runs in-process: the
+    collectors ride along with the simulation and are not part of the
+    cacheable :class:`SimStats` result.
+    """
+    from repro.eval.runner import get_trace, make_bebop_engine, run_bebop_eole
+    from repro.obs import BankTelemetry, PCAttribution
+    from repro.workloads.suite import get_spec
+
+    start = _meta_start()
+    names = spec.names()
+    if "h2p_hard" not in names:
+        names = (*names, "h2p_hard")
+    rows: dict[str, dict[str, object]] = {}
+    for name in names:
+        trace = get_trace(name, spec.uops)
+        collector = CPIStackCollector()
+        attrib = PCAttribution(top_k=top_k)
+        banks = (BankTelemetry(interval=bank_interval)
+                 if bank_interval is not None else None)
+        run_bebop_eole(trace, make_bebop_engine(), spec.warmup,
+                       cpi=collector, attrib=attrib, banks=banks)
+        collector.stack.config = "EOLE_4_60_BeBoP"
+        collector.stack.check()
+        row: dict[str, object] = {
+            "category": get_spec(name).category,
+            "stack": collector.stack,
+            "attribution": attrib.summary(top=top_k, shares=H2P_SHARES),
+        }
+        if banks is not None:
+            row["banks"] = banks.summary()
+        rows[name] = row
+    return ExperimentResult(
+        "h2p", rows, columns=("category", "stack", "attribution", "banks"),
         spec=spec, meta=_meta_finish(start),
     )

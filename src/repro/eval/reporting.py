@@ -195,6 +195,87 @@ def render_provenance(results) -> str:
     return "\n".join(lines)
 
 
+def render_h2p(results, top: int = 10) -> str:
+    """Hard-to-predict PC tables: the worst-``top`` PCs per workload, and
+    what fraction of the ``vp_squash + branch_redirect`` CPI-stack cycles
+    the top 1/5/10 PCs own per workload and per workload class.
+
+    ``results`` is the :func:`repro.eval.experiments.h2p` result (any
+    mapping of ``{workload: {category, stack, attribution}}``).  Class
+    shares are cycle-weighted: each workload contributes its own top-k
+    share weighted by its attributed cycles, so the class row reads as
+    "of this class's recovery cycles, the fraction owned by each
+    workload's k costliest PCs".
+    """
+    lines = ["H2P attribution (BeBoP on EOLE_4_60, DnRDnR) — recovery "
+             "cycles by static PC", ""]
+    header = (
+        f"{'workload':12s}{'pc':>10s}{'kind':>8s}{'cycles':>9s}"
+        f"{'share':>8s}{'vp_sq':>7s}{'br_mp':>7s}{'attempts':>9s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for workload, row in results.items():
+        attribution = row["attribution"]
+        attributed = attribution["attributed_cycles"]
+        first = True
+        for rec in attribution["pcs"][:top]:
+            name_col = workload if first else ""
+            first = False
+            share = rec["cycles"] / attributed if attributed else 0.0
+            lines.append(
+                f"{name_col:12s}{rec['pc']:>#10x}{rec['kind']:>8s}"
+                f"{rec['cycles']:9d}{share:8.3f}{rec['vp_squashes']:7d}"
+                f"{rec['branch_mispredicts']:7d}"
+                f"{rec['vp_attempts'] + rec['branches']:9d}"
+            )
+        if first:
+            lines.append(f"{workload:12s}{'-':>10s}")
+    lines.append("")
+    lines.append("Top-k PC share of vp_squash + branch_redirect cycles")
+    header = (
+        f"{'workload':12s}{'class':>7s}{'attributed':>12s}{'of cycles':>11s}"
+        f"{'top1':>8s}{'top5':>8s}{'top10':>8s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    by_class: dict[str, dict[int, float]] = {}
+    class_cycles: dict[str, int] = {}
+    for workload, row in results.items():
+        attribution = row["attribution"]
+        stack = row["stack"]
+        category = row["category"]
+        attributed = attribution["attributed_cycles"]
+        shares = attribution["shares"]
+        of_cycles = attributed / stack.cycles if stack.cycles else 0.0
+        lines.append(
+            f"{workload:12s}{category:>7s}{attributed:12d}{of_cycles:11.3f}"
+            + "".join(f"{shares[n]:8.3f}" for n in (1, 5, 10))
+        )
+        class_cycles[category] = class_cycles.get(category, 0) + attributed
+        acc = by_class.setdefault(category, dict.fromkeys((1, 5, 10), 0.0))
+        for n in (1, 5, 10):
+            acc[n] += shares[n] * attributed
+    lines.append("")
+    lines.append("Per workload class (cycle-weighted)")
+    header = (
+        f"{'class':12s}{'attributed':>12s}"
+        f"{'top1':>8s}{'top5':>8s}{'top10':>8s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for category in sorted(by_class):
+        total = class_cycles[category]
+        lines.append(
+            f"{category:12s}{total:12d}"
+            + "".join(
+                f"{(by_class[category][n] / total if total else 0.0):8.3f}"
+                for n in (1, 5, 10)
+            )
+        )
+    return "\n".join(lines)
+
+
 def render_partial_strides(results: dict[int, dict[str, object]]) -> str:
     """§VI-B(a): stride width vs performance vs storage."""
     lines = ["Partial strides (§VI-B-a)", ""]

@@ -139,6 +139,8 @@ def run_baseline(
     warmup: int = DEFAULT_WARMUP_UOPS,
     cpi=None,
     recorder=None,
+    attrib=None,
+    banks=None,
 ) -> SimStats:
     """Baseline_6_60: no value prediction.
 
@@ -146,11 +148,16 @@ def run_baseline(
     :class:`~repro.obs.CPIStackCollector` that receives the run's cycle
     attribution, ``recorder`` an optional
     :class:`~repro.obs.TimelineRecorder` capturing per-µop stage timelines
-    and prediction provenance; ``None`` (the default for both) keeps the
-    model on its uninstrumented fast path.
+    and prediction provenance, ``attrib`` an optional
+    :class:`~repro.obs.PCAttribution` charging squash/redirect recovery
+    cycles to static PCs, and ``banks`` an optional
+    :class:`~repro.obs.BankTelemetry` sampling predictor-table occupancy;
+    ``None`` (the default for all) keeps the model on its uninstrumented
+    fast path.
     """
     return PipelineModel(BASELINE_6_60).run(
-        trace, warmup_uops=warmup, cpi=cpi, recorder=recorder
+        trace, warmup_uops=warmup, cpi=cpi, recorder=recorder,
+        attrib=attrib, banks=banks,
     )
 
 
@@ -160,10 +167,15 @@ def run_instr_vp(
     warmup: int = DEFAULT_WARMUP_UOPS,
     cpi=None,
     recorder=None,
+    attrib=None,
+    banks=None,
 ) -> SimStats:
     """Baseline_VP_6_60 with an instruction-based predictor."""
     model = PipelineModel(baseline_vp_6_60(), InstructionVPAdapter(predictor))
-    return model.run(trace, warmup_uops=warmup, cpi=cpi, recorder=recorder)
+    return model.run(
+        trace, warmup_uops=warmup, cpi=cpi, recorder=recorder,
+        attrib=attrib, banks=banks,
+    )
 
 
 def run_eole_instr_vp(
@@ -172,10 +184,15 @@ def run_eole_instr_vp(
     warmup: int = DEFAULT_WARMUP_UOPS,
     cpi=None,
     recorder=None,
+    attrib=None,
+    banks=None,
 ) -> SimStats:
     """EOLE_4_60 with an instruction-based predictor (Fig 5b)."""
     model = PipelineModel(eole_4_60(), InstructionVPAdapter(predictor))
-    return model.run(trace, warmup_uops=warmup, cpi=cpi, recorder=recorder)
+    return model.run(
+        trace, warmup_uops=warmup, cpi=cpi, recorder=recorder,
+        attrib=attrib, banks=banks,
+    )
 
 
 def run_bebop_eole(
@@ -184,7 +201,12 @@ def run_bebop_eole(
     warmup: int = DEFAULT_WARMUP_UOPS,
     cpi=None,
     recorder=None,
+    attrib=None,
+    banks=None,
 ) -> SimStats:
     """EOLE_4_60 with block-based (BeBoP) value prediction."""
     model = PipelineModel(eole_4_60(), engine)
-    return model.run(trace, warmup_uops=warmup, cpi=cpi, recorder=recorder)
+    return model.run(
+        trace, warmup_uops=warmup, cpi=cpi, recorder=recorder,
+        attrib=attrib, banks=banks,
+    )

@@ -27,6 +27,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.obs.attrib import ATTRIBUTED_CAUSES, PCAttribution, PCRecord
+from repro.obs.banks import BankTelemetry
 from repro.obs.cpi import CPI_COMPONENTS, CPIStack, CPIStackCollector
 from repro.obs.registry import (
     NULL_METRIC,
@@ -34,6 +36,7 @@ from repro.obs.registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    prometheus_name,
 )
 from repro.obs.timeline import (
     TIMELINE_FORMATS,
@@ -120,6 +123,8 @@ def scoped_registry(
 
 
 __all__ = [
+    "ATTRIBUTED_CAUSES",
+    "BankTelemetry",
     "CPI_COMPONENTS",
     "CPIStack",
     "CPIStackCollector",
@@ -128,6 +133,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_METRIC",
+    "PCAttribution",
+    "PCRecord",
     "Provenance",
     "SquashEvent",
     "TIMELINE_FORMATS",
@@ -141,6 +148,7 @@ __all__ = [
     "enabled",
     "gauge",
     "histogram",
+    "prometheus_name",
     "registry",
     "scoped_registry",
     "span",

@@ -26,6 +26,7 @@ hoist the metric object (or check :attr:`MetricsRegistry.enabled`) once.
 from __future__ import annotations
 
 import math
+import re
 from typing import Iterator
 
 
@@ -145,6 +146,38 @@ NULL_METRIC = _NullMetric()
 _MIN_SUFFIX = "/min"
 _MAX_SUFFIX = "/max"
 
+#: Histogram bucket keys in a snapshot look like ``name/bucket/le_2^7``.
+#: Merge validates the boundary spelling: this registry only ever emits
+#: power-of-two boundaries, so any other boundary in an incoming snapshot
+#: comes from an incompatible bucketing scheme and summing it into ours
+#: would silently mis-merge.
+_BUCKET_MARK = "/bucket/"
+_BUCKET_RE = re.compile(r"le_2\^\d+\Z")
+
+#: Characters Prometheus forbids in metric names (text exposition format
+#: v0.0.4 allows ``[a-zA-Z_:][a-zA-Z0-9_:]*``).
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str, prefix: str = "repro_") -> str:
+    """Registry name → valid Prometheus metric name (``/`` and ``^``
+    become ``_``; the prefix keeps the first character legal)."""
+    return prefix + _PROM_BAD.sub("_", name)
+
+
+def _prom_value(value: int | float) -> str:
+    """Prometheus sample-value spelling (Go ParseFloat syntax)."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if value != value:  # NaN
+        return "NaN"
+    f = float(value)
+    if f.is_integer() and abs(f) < 2**63:
+        return str(int(f))
+    return repr(f)
+
 
 class MetricsRegistry:
     """Flat name → metric store with hierarchical (``/``) names."""
@@ -217,6 +250,64 @@ class MetricsRegistry:
             node[leaf] = value
         return root
 
+    def to_prometheus(self, prefix: str = "repro_",
+                      exclude: frozenset[str] | set[str] = frozenset()
+                      ) -> str:
+        """Prometheus text exposition (format v0.0.4) of every metric.
+
+        Counters and gauges emit one sample each; histograms emit
+        cumulative ``_bucket{le="..."}`` samples (upper bounds are this
+        registry's power-of-two boundaries) plus ``_sum``/``_count`` and
+        min/max companion gauges.  ``exclude`` skips raw registry names
+        (the serve endpoint uses it to avoid double-exposing counters it
+        reports authoritatively).  If two raw names sanitize to the same
+        Prometheus name, the first (in sorted raw-name order) wins — a
+        duplicate family would make the exposition invalid.
+        """
+        lines: list[str] = []
+        emitted: set[str] = set()
+
+        def family(pname: str, kind: str) -> bool:
+            if pname in emitted:
+                return False
+            emitted.add(pname)
+            lines.append(f"# HELP {pname} repro metric {name!r}")
+            lines.append(f"# TYPE {pname} {kind}")
+            return True
+
+        for name in sorted(self._metrics):
+            if name in exclude:
+                continue
+            metric = self._metrics[name]
+            pname = prometheus_name(name, prefix)
+            if metric.kind in ("counter", "gauge"):
+                if family(pname, metric.kind):
+                    lines.append(f"{pname} {_prom_value(metric.value)}")
+            else:  # histogram
+                if not family(pname, "histogram"):
+                    continue
+                cumulative = 0
+                for b in sorted(metric.buckets):
+                    cumulative += metric.buckets[b]
+                    bound = _prom_value(float(2 ** b))
+                    lines.append(
+                        f'{pname}_bucket{{le="{bound}"}} {cumulative}'
+                    )
+                lines.append(f'{pname}_bucket{{le="+Inf"}} {metric.count}')
+                lines.append(f"{pname}_sum {_prom_value(metric.total)}")
+                lines.append(f"{pname}_count {metric.count}")
+                if metric.count:
+                    for suffix, value in (("min", metric.min),
+                                          ("max", metric.max)):
+                        sub = f"{pname}_{suffix}"
+                        if sub not in emitted:
+                            emitted.add(sub)
+                            lines.append(f"# HELP {sub} repro metric "
+                                         f"{name!r} {suffix}")
+                            lines.append(f"# TYPE {sub} gauge")
+                            lines.append(f"{sub} {_prom_value(value)}")
+        return "\n".join(lines) + "\n" if lines else ""
+
     # -- aggregation -------------------------------------------------------
 
     def merge(self, snapshot: dict[str, float]) -> None:
@@ -231,6 +322,14 @@ class MetricsRegistry:
         if not self.enabled or not snapshot:
             return
         for name, value in snapshot.items():
+            mark = name.rfind(_BUCKET_MARK)
+            if mark >= 0 and not _BUCKET_RE.match(
+                    name[mark + len(_BUCKET_MARK):]):
+                raise ValueError(
+                    f"histogram bucket boundary mismatch: {name!r} is not a "
+                    f"power-of-two bucket key (expected .../bucket/le_2^N); "
+                    f"refusing to mis-merge incompatible bucketing schemes"
+                )
             if name.endswith(_MIN_SUFFIX) or name.endswith(_MAX_SUFFIX):
                 g = self._get(name, Gauge)
                 if name not in self._seen_extrema:

@@ -346,8 +346,28 @@ class TimelineRecorder:
             },
         }
 
+    def _warn_dropped(self) -> None:
+        """Surface truncation at export time: bump the
+        ``obs/timeline/dropped`` counter (by the drop count — re-exports
+        re-count) and print one stderr line, so a capacity-bounded
+        timeline is never silently misread as complete."""
+        if not self.dropped:
+            return
+        import sys
+
+        import repro.obs as obs  # call-time import: obs imports this module
+
+        obs.counter("obs/timeline/dropped").inc(self.dropped)
+        print(
+            f"timeline export: {self.dropped} of {self.recorded} µ-op "
+            f"record(s) dropped by the capacity bound "
+            f"(capacity={self.capacity}); the export is truncated",
+            file=sys.stderr,
+        )
+
     def export_chrome(self, path) -> int:
         """Write the Chrome trace JSON to ``path``; returns event count."""
+        self._warn_dropped()
         trace = self.to_chrome_trace()
         with open(path, "w") as f:
             json.dump(trace, f)
@@ -398,6 +418,7 @@ class TimelineRecorder:
 
     def export_konata(self, path) -> int:
         """Write the Konata log to ``path``; returns the line count."""
+        self._warn_dropped()
         text = self.to_konata()
         with open(path, "w") as f:
             f.write(text)

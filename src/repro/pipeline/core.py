@@ -137,6 +137,8 @@ class PipelineModel:
         timeline: list | None = None,
         cpi: "CPIStackCollector | None" = None,
         recorder: "TimelineRecorder | None" = None,
+        attrib: "PCAttribution | None" = None,
+        banks: "BankTelemetry | None" = None,
     ) -> SimStats:
         """Simulate a trace; statistics cover µ-ops after ``warmup_uops``.
 
@@ -155,6 +157,19 @@ class PipelineModel:
         provenance record filled in by the VP adapter and finalised here at
         commit (see :mod:`repro.obs.timeline`).  Also passive: stats are
         bit-identical with and without it.
+
+        When ``attrib`` is a :class:`repro.obs.PCAttribution`, every
+        recovery cycle the CPI stack would charge to ``vp_squash`` or
+        ``branch_redirect`` is additionally charged to the static PC of
+        the mispredicting µ-op: the cause-propagation chain below is
+        shadowed by an owning-PC chain under the same gating, so per-PC
+        cycles sum exactly to those two stack components.  Passive like
+        ``cpi``.
+
+        When ``banks`` is a :class:`repro.obs.BankTelemetry`, the VP
+        adapter's ``table_banks()`` hook (if any) is attached and the
+        banks are snapshotted every ``banks.interval`` µ-ops plus once at
+        the end of the run.  Read-only, so also stats-passive.
         """
         cfg = self.config
         uops = trace.uops
@@ -167,10 +182,18 @@ class PipelineModel:
         # predictions to their producing component opt in via the
         # set_provenance hook and fill GroupHandle.prov at fetch.
         rec = recorder
+        apc = attrib is not None
         if self.vp is not None:
+            # Attribution wants the providing component per attempt, so it
+            # turns provenance on even without a recorder.
             set_prov = getattr(self.vp, "set_provenance", None)
             if set_prov is not None:
-                set_prov(rec is not None)
+                set_prov(rec is not None or apc)
+            if banks is not None:
+                bank_source = getattr(self.vp, "table_banks", None)
+                if bank_source is not None:
+                    banks.attach(bank_source())
+        bank_next = banks.interval if banks is not None else 0
 
         groups = group_block_instances(uops)
         # --- machine state ---------------------------------------------------
@@ -221,12 +244,21 @@ class PipelineModel:
         # CPI-stack attribution (see repro.obs.cpi).  `track` gates every
         # instrumentation block so the disabled path costs one boolean
         # check per site; none of these variables feed back into timing.
-        track = cpi is not None
+        # Per-PC attribution (repro.obs.attrib) shadows each cause variable
+        # with the static PC that owns it, updated under exactly the same
+        # conditions, so whenever a cause variable holds "vp_squash" or
+        # "branch_redirect" its *_pc twin holds the mispredicting µ-op's PC.
+        track = cpi is not None or apc
         redirect_cause = "base"         # cause of the current fetch barrier
         fe_cause = "base"               # cause of the current block's fetch time
         disp_cause = "base"
         exec_cause = "base"
         reg_cause: dict[int, str] = {}  # why each register's value is late
+        redirect_pc = -1
+        fe_pc = -1
+        disp_pc = -1
+        exec_pc = -1
+        reg_pc: dict[int, int] = {}
         l1d_hit_lat = self.memory.l1d.latency
 
         # Warmup bookkeeping.
@@ -276,11 +308,12 @@ class PipelineModel:
                 # The block's fetch is redirect-bound when the fetch
                 # barrier is what it waited on; fetch-queue backpressure
                 # and plain fetch flow are baseline behaviour.
-                fe_cause = (
-                    redirect_cause
-                    if next_fetch_min > fetch_cycle and next_fetch_min >= c
-                    else "base"
-                )
+                if next_fetch_min > fetch_cycle and next_fetch_min >= c:
+                    fe_cause = redirect_cause
+                    fe_pc = redirect_pc
+                else:
+                    fe_cause = "base"
+                    fe_pc = -1
             if c > fetch_cycle:
                 fetch_cycle = c
                 blocks_in_cycle = 0
@@ -301,6 +334,7 @@ class PipelineModel:
                 blocks_in_cycle = 1
                 taken_in_cycle = 0
                 fe_cause = "icache"
+                fe_pc = -1
 
             # ---- value prediction (block granularity) -----------------------
             hist = self.hists.state()
@@ -370,24 +404,25 @@ class PipelineModel:
                     # bumps past the max keep the winner's cause.)
                     cand = block_avail + cfg.front_end_depth
                     disp_cause = fe_cause
+                    disp_pc = fe_pc
                     if last_dispatch > cand:
-                        cand, disp_cause = last_dispatch, "base"
+                        cand, disp_cause, disp_pc = last_dispatch, "base", -1
                     if rob_full:
                         t = rob_commits[0] + 1
                         if t >= cand:
-                            cand, disp_cause = t, "backend_full"
+                            cand, disp_cause, disp_pc = t, "backend_full", -1
                     if uop.is_load and lq_count >= cfg.lq_size:
                         t = lq_completes[0]
                         if t >= cand:
-                            cand, disp_cause = t, "backend_full"
+                            cand, disp_cause, disp_pc = t, "backend_full", -1
                     if uop.is_store and sq_count >= cfg.sq_size:
                         t = sq_completes[0]
                         if t >= cand:
-                            cand, disp_cause = t, "backend_full"
+                            cand, disp_cause, disp_pc = t, "backend_full", -1
                     if not bypass_ooo and iq_full:
                         t = iq_issues[0]
                         if t >= cand:
-                            cand, disp_cause = t, "backend_full"
+                            cand, disp_cause, disp_pc = t, "backend_full", -1
                 dispatch_cnt[d] = dispatch_cnt.get(d, 0) + 1
                 last_dispatch = d
                 dispatch_cycles.append(d)
@@ -453,12 +488,14 @@ class PipelineModel:
                 if track:
                     if bypass_ooo:
                         exec_cause = disp_cause
+                        exec_pc = disp_pc
                     else:
                         # Dominant stall component behind `complete`:
                         # operand wait (inheriting the producer's cause),
                         # issue/FU contention, or execution latency.
                         dep_wait = ready - (d + 1)
                         dep_cause = "base"
+                        dep_pc = -1
                         if dep_wait > 0:
                             if (
                                 uop.is_load
@@ -473,6 +510,7 @@ class PipelineModel:
                                     if t > smax:
                                         smax = t
                                         dep_cause = reg_cause.get(src, "base")
+                                        dep_pc = reg_pc.get(src, -1)
                         cont_wait = c2 - ready
                         cont_cause = "base"
                         if cont_wait > 0:
@@ -503,13 +541,14 @@ class PipelineModel:
                         else:
                             lat_cause = "fu" if lat > 1 else "base"
                         exec_cause = disp_cause
+                        exec_pc = disp_pc
                         w = 0
                         if dep_wait > w:
-                            w, exec_cause = dep_wait, dep_cause
+                            w, exec_cause, exec_pc = dep_wait, dep_cause, dep_pc
                         if cont_wait > w:
-                            w, exec_cause = cont_wait, cont_cause
+                            w, exec_cause, exec_pc = cont_wait, cont_cause, -1
                         if lat - 1 > w:
-                            w, exec_cause = lat - 1, lat_cause
+                            w, exec_cause, exec_pc = lat - 1, lat_cause, -1
 
                 if uop.is_load:
                     lq_completes.append(complete)
@@ -528,6 +567,7 @@ class PipelineModel:
                         reg_avail[uop.dest] = complete
                     if track:
                         reg_cause[uop.dest] = exec_cause
+                        reg_pc[uop.dest] = exec_pc
 
                 if handle is not None and uop.is_vp_eligible:
                     self.vp.result_uop(handle, k, uop, complete)
@@ -564,12 +604,19 @@ class PipelineModel:
                     # Commit-front advance: `stats.cycles` is exactly the
                     # sum of these deltas over the measured window, so
                     # attributing each delta once keeps the stack exact.
-                    cpi.account(
+                    cause = (
                         exec_cause
                         if complete + cfg.back_end_depth > last_commit
-                        else "base",        # pure commit-bandwidth bumps
-                        cc - last_commit,
+                        else "base"         # pure commit-bandwidth bumps
                     )
+                    if cpi is not None:
+                        cpi.account(cause, cc - last_commit)
+                    if apc and (
+                        cause == "vp_squash" or cause == "branch_redirect"
+                    ):
+                        # Same delta, charged to the owning static PC —
+                        # per-PC sums equal the two stack components.
+                        attrib.account(exec_pc, cause, cc - last_commit)
                 last_commit = cc
                 rob_commits.append(cc)
                 rob_count += 1
@@ -578,6 +625,8 @@ class PipelineModel:
                     deferred_bp.append(
                         (cc + 1, uop.pc, bp_hist, uop.branch_taken, bmeta)
                     )
+                    if apc and measuring:
+                        attrib.branch(uop.pc, mispredicted_branch)
                     if mispredicted_branch:
                         if measuring:
                             stats.branch_mispredicts += 1
@@ -589,6 +638,7 @@ class PipelineModel:
                         if complete + 1 > next_fetch_min:
                             next_fetch_min = complete + 1
                             redirect_cause = "branch_redirect"
+                            redirect_pc = uop.pc
                         if self.vp is not None:
                             self.vp.branch_squash(uop.seq, complete)
                 elif uop.is_branch and uop.branch_taken:
@@ -598,6 +648,7 @@ class PipelineModel:
                         if block_avail + 2 > next_fetch_min:
                             next_fetch_min = block_avail + 2
                             redirect_cause = "btb_redirect"
+                            redirect_pc = uop.pc
 
                 if timeline is not None:
                     timeline.append((uop.seq, uop.pc, d, complete, cc))
@@ -639,6 +690,18 @@ class PipelineModel:
                     stats.vp_eligible += 1
                     if pred is not None:
                         stats.vp_predicted += 1
+                        if apc:
+                            a_prov = (
+                                handle.prov[k]
+                                if handle is not None
+                                and handle.prov is not None
+                                else None
+                            )
+                            attrib.vp_attempt(
+                                uop.pc,
+                                a_prov.provider if a_prov is not None else -1,
+                                predicted_used,
+                            )
                 if predicted_used and eligible and uop.value is not None:
                     correct = pred.value == uop.value
                     if measuring:
@@ -649,6 +712,8 @@ class PipelineModel:
                         # Commit-time squash: everything younger refetches.
                         if measuring:
                             stats.vp_squashes += 1
+                            if apc:
+                                attrib.vp_squash(uop.pc)
                         if rec is not None:
                             # Cost = result computed → refetch barrier: the
                             # latency of detecting the misprediction at
@@ -660,9 +725,11 @@ class PipelineModel:
                         reg_avail[uop.dest] = cc
                         if track:
                             reg_cause[uop.dest] = "vp_squash"
+                            reg_pc[uop.dest] = uop.pc
                         if cc + 1 > next_fetch_min:
                             next_fetch_min = cc + 1
                             redirect_cause = "vp_squash"
+                            redirect_pc = uop.pc
                         remainder = guops[k + 1:]
                         if remainder:
                             next_block_pc = remainder[0].block_pc
@@ -696,6 +763,13 @@ class PipelineModel:
 
             if handle is not None and not group_broken:
                 self.vp.finish_group(handle, last_commit)
+
+            # ---- bank-telemetry cadence -------------------------------------
+            # Group-granular check: one `is None` test per fetch group when
+            # disabled, and sampling reads bank state without touching it.
+            if banks is not None and uop_index >= bank_next:
+                banks.sample(uop_index)
+                bank_next = uop_index + banks.interval
 
             # ---- occupancy-state prune --------------------------------------
             # The dispatch and commit fronts are monotone and every probe of
@@ -739,4 +813,8 @@ class PipelineModel:
         stats.l2_misses = self.memory.l2.misses
         if cpi is not None:
             cpi.finish(stats)
+        if attrib is not None:
+            attrib.finish(stats)
+        if banks is not None:
+            banks.sample(uop_index, final=True)
         return stats

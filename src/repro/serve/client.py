@@ -164,6 +164,35 @@ class ServeClient:
     def metrics(self) -> dict:
         return self._request("GET", protocol.ROUTE_METRICS)
 
+    def metrics_prometheus(self) -> str:
+        """The metrics document as a Prometheus text exposition (v0.0.4).
+
+        Returns the decoded body verbatim; the same reconnect rule as
+        :meth:`_request` applies (JSON decoding does not — the body is
+        text, and a non-200 answer is still a JSON error document).
+        """
+        path = (f"{protocol.ROUTE_METRICS}"
+                f"?format={protocol.METRICS_FORMAT_PROMETHEUS}")
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request("GET", path)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError,
+                    BrokenPipeError, socket.timeout, OSError):
+                self.close()
+                if attempt:
+                    raise
+        if response.status != 200:
+            try:
+                doc = json.loads(raw)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                doc = {}
+            raise ServerError(response.status, protocol.error_message(doc))
+        return raw.decode("utf-8")
+
     def progress_events(self, limit: int | None = None,
                         timeout: float | None = None) -> Iterator[dict]:
         """Subscribe to the SSE progress stream; yields event dicts.

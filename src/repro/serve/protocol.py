@@ -46,6 +46,14 @@ ROUTE_PROGRESS = "/v1/progress"      # GET  server-sent events stream
 ROUTE_HEALTH = "/v1/healthz"         # GET  liveness + identity
 ROUTE_METRICS = "/v1/metrics"        # GET  obs registry + server counters
 
+#: ``?format=`` values the metrics route accepts.  JSON is (and stays)
+#: the default; Prometheus is the text exposition format v0.0.4.
+METRICS_FORMAT_JSON = "json"
+METRICS_FORMAT_PROMETHEUS = "prometheus"
+
+#: Content-Type of a Prometheus text exposition response.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
 #: Where a result came from, as reported in the ``source`` field.
 SOURCES = ("cache", "computed", "inflight")
 

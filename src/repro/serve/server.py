@@ -38,6 +38,7 @@ GET       ``/v1/result/<d>``   cache-only lookup, 404 on a miss
 GET       ``/v1/progress``     SSE stream of sweep progress events
 GET       ``/v1/healthz``      liveness + build identity
 GET       ``/v1/metrics``      server counters + obs registry snapshot
+                               (``?format=prometheus`` for text exposition)
 ========  ===================  ==========================================
 """
 
@@ -48,6 +49,7 @@ import json
 import queue
 import threading
 import time
+from urllib.parse import parse_qs
 
 import repro.obs as obs
 from repro.exec.cache import CODE_VERSION, ResultCache
@@ -362,7 +364,7 @@ class SweepServer:
     async def _dispatch(self, method: str, path: str, body: bytes,
                         writer: asyncio.StreamWriter) -> bool:
         """Route one request; returns True when the response was a stream."""
-        path = path.split("?", 1)[0]
+        path, _, query = path.partition("?")
         try:
             if path == protocol.ROUTE_SUBMIT:
                 self._need(method, "POST")
@@ -379,7 +381,20 @@ class SweepServer:
                 await self._send_json(writer, 200, self._health_doc())
             elif path == protocol.ROUTE_METRICS:
                 self._need(method, "GET")
-                await self._send_json(writer, 200, self._metrics_doc())
+                fmt = parse_qs(query).get(
+                    "format", [protocol.METRICS_FORMAT_JSON])[-1]
+                if fmt == protocol.METRICS_FORMAT_PROMETHEUS:
+                    await self._send_text(writer, 200,
+                                          self._metrics_prometheus(),
+                                          protocol.PROMETHEUS_CONTENT_TYPE)
+                elif fmt == protocol.METRICS_FORMAT_JSON:
+                    await self._send_json(writer, 200, self._metrics_doc())
+                else:
+                    raise protocol.ProtocolError(
+                        f"unknown metrics format {fmt!r} (use "
+                        f"{protocol.METRICS_FORMAT_JSON} or "
+                        f"{protocol.METRICS_FORMAT_PROMETHEUS})"
+                    )
             elif path == protocol.ROUTE_PROGRESS:
                 self._need(method, "GET")
                 await self._do_progress(writer)
@@ -520,6 +535,48 @@ class SweepServer:
             },
             "metrics": obs.registry().snapshot(),
         }
+
+    def _metrics_prometheus(self) -> str:
+        """Prometheus text exposition (v0.0.4) of the metrics document.
+
+        The server's own plain-int counters are authoritative (they exist
+        and count even with obs disabled); the obs registry is appended
+        with those raw names excluded, so no metric family is ever
+        emitted twice while registry-only metrics (request-latency
+        histogram, timeline/attribution counters, ...) still show up.
+        """
+        from repro.obs.registry import MetricsRegistry
+
+        own = MetricsRegistry()
+        own.counter("serve/requests").inc(self.requests)
+        own.counter("serve/hits").inc(self.hits)
+        own.counter("serve/misses").inc(self.misses)
+        own.counter("serve/dedup").inc(self.dedup)
+        own.counter("serve/errors/4xx").inc(self.errors_4xx)
+        own.counter("serve/errors/5xx").inc(self.errors_5xx)
+        own.counter("serve/cache/hits").inc(self.cache.hits)
+        own.counter("serve/cache/misses").inc(self.cache.misses)
+        own.counter("serve/cache/stores").inc(self.cache.stores)
+        own.counter("serve/cache/corrupt").inc(self.cache.corrupt)
+        own.gauge("serve/inflight").set(len(self._inflight))
+        own.gauge("serve/sse_subscribers").set(len(self._subscribers))
+        own.gauge("serve/uptime_seconds").set(
+            round(time.monotonic() - self._started, 3)
+        )
+        return own.to_prometheus() + obs.registry().to_prometheus(
+            exclude=frozenset(own)
+        )
+
+    async def _send_text(self, writer: asyncio.StreamWriter, status: int,
+                         text: str, content_type: str = "text/plain") -> None:
+        body = text.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode("ascii")
+        writer.write(head + body)
+        await writer.drain()
 
     async def _send_json(self, writer: asyncio.StreamWriter, status: int,
                          payload: dict) -> None:

@@ -565,3 +565,118 @@ def build_mixed_kernel(
     return KernelResult(
         Program([entry, fill, head, loop, arm_a, arm_b, tail, back] + noise)
     )
+
+
+def build_h2p_kernel(
+    seed: int = 7,
+    trip: int = 512,
+    hard_branches: int = 2,
+    stepping_loads: int = 2,
+    change_period: int = 256,
+    body_ops: int = 3,
+) -> KernelResult:
+    """Hard-to-predict cost concentrated in a handful of static PCs.
+
+    The H2P literature ("Branch Prediction Is Not a Solved Problem",
+    Bullseye) observes that almost all remaining misprediction cost hides
+    in a few static instructions.  This kernel builds that shape on
+    purpose, as the steep-curve workload for the ``h2p`` experiment:
+
+    * ``hard_branches`` branches steered by one fresh PRNG bit execute
+      **every** iteration — unpredictable by construction, so nearly all
+      ``branch_redirect`` cycles land on these few static PCs;
+    * ``stepping_loads`` loads reload per-cell constants that step every
+      ``change_period`` iterations (a power of two; long enough for the
+      FPC to reach full confidence between steps), so used-then-wrong
+      value predictions squash at exactly those load PCs;
+    * everything else — a strided array stream feeding an accumulator
+      plus ``body_ops`` constant-increment ALU ops — is predictable
+      background that rarely squashes.
+
+    The result: the top handful of PCs own nearly all attributed
+    ``vp_squash``/``branch_redirect`` recovery cycles (the acceptance
+    bar is ≥ 80% for the top 10).
+    """
+    if change_period & (change_period - 1):
+        raise ValueError(
+            f"change_period must be a power of two, got {change_period}"
+        )
+    hard_branches = max(1, min(hard_branches, 4))
+    stepping_loads = max(1, min(stepping_loads, 2))
+
+    f = InstFactory(seed)
+    i, n, addr, acc = int_reg(1), int_reg(2), int_reg(3), int_reg(4)
+    zero, tmp, v, it = int_reg(5), int_reg(6), int_reg(7), int_reg(8)
+    cfgs = [int_reg(9), int_reg(10)][:stepping_loads]
+    cvs = [int_reg(11), int_reg(12)][:stepping_loads]
+    rnd, bit = int_reg(14), int_reg(15)
+
+    entry = BasicBlock("entry")
+    entry.add(f.li(zero, 0))
+    entry.add(f.li(acc, 1))
+    entry.add(f.li(it, 0))
+    entry.add(f.li(i, 0))
+    entry.add(f.li(n, trip))
+    entry.add(f.li(addr, DATA_BASE))
+    entry.add(f.li(tmp, 7))
+    for j, (cfg, cv) in enumerate(zip(cfgs, cvs)):
+        entry.add(f.li(cfg, DATA_BASE + 0x8000 + 0x40 * j))
+        entry.add(f.li(cv, 901 + 832 * j))
+        entry.add(f.store(cfg, cv))
+
+    fill = BasicBlock("fill")                       # strided background data
+    fill.add(f.store(addr, tmp))
+    fill.add(f.addi(tmp, tmp, 24))
+    fill.add(f.addi(addr, addr, 8))
+    fill.add(f.addi(i, i, 1))
+    fill.add(f.branch(Opcode.BLT, i, n, "fill"))
+
+    head = BasicBlock("head")
+    head.add(f.li(addr, DATA_BASE))
+    head.add(f.li(i, 0))
+
+    loop = BasicBlock("loop")
+    loop.add(f.load(v, addr))                       # strided, predictable
+    loop.add(f.add(acc, acc, v))
+    for cfg, cv in zip(cfgs, cvs):
+        loop.add(f.load(cv, cfg))                   # near-constant, steps
+        loop.add(f.add(acc, acc, cv))
+    for k in range(body_ops):
+        loop.add(f.addi(acc, acc, 3 + k))
+    loop.add(f.addi(addr, addr, 8))
+    loop.add(f.addi(i, i, 1))
+    loop.add(f.addi(it, it, 1))
+
+    # The H2P branches: one fresh PRNG bit each, every iteration.
+    hb_blocks: list[BasicBlock] = []
+    for b in range(hard_branches):
+        nxt = f"hb{b + 1}" if b + 1 < hard_branches else "stepchk"
+        hb = BasicBlock(f"hb{b}")
+        hb.add(f.make(Opcode.RAND, dests=(rnd,)))
+        hb.add(f.make(Opcode.ANDI, dests=(bit,), srcs=(rnd,), imm=1))
+        hb.add(f.branch(Opcode.BEQ, bit, zero, nxt))
+        tk = BasicBlock(f"hb{b}_t")
+        tk.add(f.addi(acc, acc, 1))
+        hb_blocks += [hb, tk]
+
+    stepchk = BasicBlock("stepchk")                 # TAGE-predictable gate
+    stepchk.add(f.make(
+        Opcode.ANDI, dests=(bit,), srcs=(it,), imm=change_period - 1,
+    ))
+    stepchk.add(f.branch(Opcode.BNE, bit, zero, "loopend"))
+
+    step = BasicBlock("step")                       # bump the constants
+    for j, (cfg, cv) in enumerate(zip(cfgs, cvs)):
+        step.add(f.load(cv, cfg))
+        step.add(f.addi(cv, cv, 13 + 8 * j))
+        step.add(f.store(cfg, cv))
+
+    loopend = BasicBlock("loopend")
+    loopend.add(f.branch(Opcode.BLT, i, n, "loop"))
+
+    back = BasicBlock("back")
+    back.add(f.jmp("head"))
+
+    return KernelResult(Program(
+        [entry, fill, head, loop] + hb_blocks + [stepchk, step, loopend, back]
+    ))

@@ -113,6 +113,28 @@ class TestExperiments:
                 stack.check()
                 assert stack.cycles > 0
 
+    def test_h2p_structure(self):
+        r = experiments.h2p(TINY)
+        assert isinstance(r, ExperimentResult)
+        # The H2P concentration kernel is appended to the spec's suite.
+        assert set(r) == {"swim", "gobmk", "h2p_hard"}
+        for name, row in r.items():
+            assert row["category"] in ("INT", "FP")
+            row["stack"].check()
+            attribution = row["attribution"]
+            want = (row["stack"].components["vp_squash"]
+                    + row["stack"].components["branch_redirect"])
+            assert attribution["attributed_cycles"] == want, name
+            assert set(attribution["shares"]) == {1, 5, 10}
+            assert "banks" not in row   # only with bank_interval
+
+    def test_h2p_bank_telemetry_rides_along(self):
+        spec = RunSpec(uops=6_000, warmup=1_000, workloads=("h2p_hard",))
+        r = experiments.h2p(spec, bank_interval=2_000)
+        banks = r["h2p_hard"]["banks"]
+        assert set(banks["banks"]) == {"lvt", "vt0", "tagged"}
+        assert banks["snapshots"] >= 2
+
 
 class TestExperimentResult:
     def test_entry_points_return_typed_results(self):
@@ -196,6 +218,15 @@ class TestReporting:
         assert "swim" in text and "Baseline_6_60" in text
         for component in ("base", "memory", "fu", "vp_squash"):
             assert component in text
+
+    def test_render_h2p(self):
+        r = experiments.h2p(
+            RunSpec(uops=6_000, warmup=1_000, workloads=("swim",))
+        )
+        text = reporting.render_h2p(r)
+        assert "swim" in text and "h2p_hard" in text
+        assert "Per workload class" in text
+        assert "top10" in text and "0x" in text
 
     def test_render_box_summary(self):
         text = reporting.render_box_summary("T", {"cfg": {"a": 1.0, "b": 2.0}})

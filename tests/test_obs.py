@@ -1,6 +1,7 @@
 """Tests for the observability layer (registry, trace, CPI stacks, merge)."""
 
 import json
+import re
 
 import pytest
 
@@ -16,6 +17,7 @@ from repro.obs import (
     MetricsRegistry,
     NULL_METRIC,
     TraceBuffer,
+    prometheus_name,
 )
 from repro.pipeline.stats import SimStats
 from repro.eval.runner import (
@@ -147,11 +149,142 @@ class TestRegistry:
         reg.merge({"n": 5})
         assert len(reg) == 0
 
+    def test_merge_empty_registry_and_empty_snapshot(self):
+        # Both degenerate directions: an empty snapshot into a populated
+        # registry is a no-op, and any snapshot into a fresh registry
+        # reproduces it exactly.
+        reg = MetricsRegistry()
+        reg.counter("n").inc(3)
+        reg.merge({})
+        assert reg.snapshot() == {"n": 3}
+        fresh = MetricsRegistry()
+        fresh.merge(reg.snapshot())
+        assert fresh.snapshot() == reg.snapshot()
+
+    def test_merge_bucket_boundary_mismatch_raises(self):
+        # A worker built with different histogram bucketing must be
+        # rejected, not silently summed into the wrong buckets.
+        reg = MetricsRegistry()
+        for bad in ("occ/bucket/le_10", "occ/bucket/le_2^x",
+                    "occ/bucket/2^3", "occ/bucket/le_2^3.5"):
+            with pytest.raises(ValueError, match="bucket boundary mismatch"):
+                reg.merge({bad: 1})
+        # The power-of-two key scheme itself still merges (summing).
+        reg.merge({"occ/bucket/le_2^3": 2, "occ/count": 2, "occ/sum": 10})
+        reg.merge({"occ/bucket/le_2^3": 1, "occ/count": 1, "occ/sum": 5})
+        assert reg.value("occ/bucket/le_2^3") == 3
+        assert reg.value("occ/count") == 3
+        assert reg.value("occ/sum") == 15
+
+    def test_merge_kind_collision_across_registries_raises(self):
+        # merge() routes ``*/min``/``*/max`` keys through Gauge extremum
+        # semantics and everything else through Counter summing; a name
+        # already registered as the other kind must hit the registry's
+        # kind guard, not silently corrupt the metric.
+        reg = MetricsRegistry()
+        reg.counter("lat/min").inc(1)
+        with pytest.raises(TypeError, match="already registered"):
+            reg.merge({"lat/min": 4})
+        reg = MetricsRegistry()
+        reg.gauge("jobs").set(2)
+        with pytest.raises(TypeError, match="already registered"):
+            reg.merge({"jobs": 4})
+
     def test_reset(self):
         reg = MetricsRegistry()
         reg.counter("n").inc()
         reg.reset()
         assert reg.snapshot() == {}
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition.
+# ---------------------------------------------------------------------------
+
+#: One sample line of the text exposition format v0.0.4 (as this registry
+#: emits it: no labels except the histogram ``le``, no timestamps).
+_PROM_SAMPLE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(?:\{le="[^"]+"\})? '
+    r'(?:[+-]?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|Inf|NaN))$'
+)
+
+
+def _check_exposition(text):
+    """Validate every line; returns the set of family names."""
+    families = set()
+    for line in text.splitlines():
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            continue
+        assert _PROM_SAMPLE.match(line), f"bad exposition line: {line!r}"
+        families.add(line.split("{")[0].split(" ")[0])
+    return families
+
+
+class TestPrometheusExposition:
+    def test_name_sanitization(self):
+        assert prometheus_name("exec/cache/hits") == "repro_exec_cache_hits"
+        assert prometheus_name("a-b.c d", prefix="x_") == "x_a_b_c_d"
+
+    def test_counter_gauge_and_histogram_families(self):
+        reg = MetricsRegistry()
+        reg.counter("serve/requests").inc(7)
+        reg.gauge("pool/depth").set(3)
+        h = reg.histogram("lat_ms")
+        for v in (0.5, 1, 2, 5, 32):
+            h.observe(v)
+        text = reg.to_prometheus()
+        families = _check_exposition(text)
+        assert "repro_serve_requests" in families
+        assert "repro_pool_depth" in families
+        assert {"repro_lat_ms_bucket", "repro_lat_ms_sum",
+                "repro_lat_ms_count", "repro_lat_ms_min",
+                "repro_lat_ms_max"} <= families
+        # One HELP/TYPE pair per family, no duplicates.
+        types = [l for l in text.splitlines() if l.startswith("# TYPE ")]
+        assert len(types) == len(set(types))
+        assert "# TYPE repro_lat_ms histogram" in types
+
+    def test_histogram_buckets_cumulative_to_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("occ")
+        for v in (0, 1, 2, 5, 32):
+            h.observe(v)
+        lines = reg.to_prometheus().splitlines()
+        buckets = [l for l in lines if '_bucket{le="' in l]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in buckets]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert buckets[-1].startswith('repro_occ_bucket{le="+Inf"}')
+        assert counts[-1] == 5
+        assert "repro_occ_count 5" in lines
+        assert "repro_occ_sum 40" in lines
+
+    def test_exclude_skips_raw_names(self):
+        reg = MetricsRegistry()
+        reg.counter("serve/requests").inc(1)
+        reg.counter("obs/other").inc(2)
+        text = reg.to_prometheus(exclude=frozenset({"serve/requests"}))
+        families = _check_exposition(text)
+        assert "repro_serve_requests" not in families
+        assert "repro_obs_other" in families
+
+    def test_sanitize_collision_first_wins(self):
+        reg = MetricsRegistry()
+        reg.counter("a/b").inc(1)
+        reg.counter("a.b").inc(9)
+        text = reg.to_prometheus()
+        # "a.b" sorts before "a/b"; exactly one family may survive.
+        assert text.count("# TYPE repro_a_b counter") == 1
+        assert "repro_a_b 9" in text.splitlines()
+
+    def test_empty_registry_is_empty_exposition(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_non_finite_values(self):
+        reg = MetricsRegistry()
+        reg.gauge("weird").set(float("inf"))
+        text = reg.to_prometheus()
+        assert "repro_weird +Inf" in text.splitlines()
+        _check_exposition(text)
 
 
 # ---------------------------------------------------------------------------

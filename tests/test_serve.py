@@ -12,6 +12,7 @@ compares byte-for-byte against ``tests/data/golden_stats.json``.
 import dataclasses
 import http.client
 import json
+import re
 import threading
 import time
 from pathlib import Path
@@ -235,6 +236,58 @@ class TestServer:
         assert serve["requests"] >= 2
         assert serve["misses"] == 1
         assert serve["cache"]["stores"] == 1
+
+    def test_metrics_prometheus_exposition(self, server):
+        sample = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*(?:\{le="[^"]+"\})? '
+            r'(?:[+-]?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|Inf|NaN))$'
+        )
+        with ServeClient(server.url) as client:
+            client.submit(baseline_job("swim", 2000, 500))
+            text = client.metrics_prometheus()
+            doc = client.metrics()   # JSON stays the default, unchanged
+        assert doc["v"] == protocol.PROTOCOL_VERSION and "serve" in doc
+        families = set()
+        for line in text.splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            assert sample.match(line), f"invalid exposition line: {line!r}"
+            families.add(line.split("{")[0].split(" ")[0])
+        # Every serve counter of the JSON document is exposed.
+        for name in ("requests", "hits", "misses", "dedup", "errors_4xx",
+                     "errors_5xx", "inflight", "sse_subscribers"):
+            assert f"repro_serve_{name}" in families, name
+        assert "repro_serve_cache_stores" in families
+        assert "repro_serve_uptime_seconds" in families
+        # A family is never exposed twice (server counters are excluded
+        # from the obs-registry pass).
+        types = [l for l in text.splitlines() if l.startswith("# TYPE ")]
+        assert len(types) == len(set(types))
+        assert "repro_serve_requests 0" not in text.splitlines()
+
+    def test_metrics_prometheus_includes_obs_registry(self, server):
+        import repro.obs as obs
+        obs.enable()
+        try:
+            with ServeClient(server.url) as client:
+                client.submit(baseline_job("swim", 2000, 500))
+                text = client.metrics_prometheus()
+            # The request-latency histogram lives only in the registry.
+            assert "# TYPE repro_serve_request_ms histogram" in text
+            assert 'repro_serve_request_ms_bucket{le="+Inf"}' in text
+        finally:
+            obs.disable()
+
+    def test_metrics_unknown_format_is_4xx(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.server.port)
+        try:
+            conn.request("GET", protocol.ROUTE_METRICS + "?format=xml")
+            resp = conn.getresponse()
+            body = json.loads(resp.read())
+            assert resp.status == 400
+            assert "unknown metrics format" in body["error"]
+        finally:
+            conn.close()
 
     def test_progress_stream_sees_sweep(self, server):
         events = []

@@ -158,6 +158,29 @@ class TestChromeExport:
         assert doc["otherData"]["uops"] == 2
         assert doc["otherData"]["dropped_uops"] == 3
 
+    def test_dropped_records_warn_and_count_at_export(self, tmp_path,
+                                                      capsys):
+        obs.enable()
+        try:
+            rec = TimelineRecorder(capacity=2)
+            _record(rec, 5)
+            rec.export_chrome(tmp_path / "trace.json")
+            err = capsys.readouterr().err
+            assert "3 of 5" in err and "truncated" in err
+            assert obs.registry().value("obs/timeline/dropped") == 3
+            # The Konata exporter warns (and counts) the same way.
+            rec.export_konata(tmp_path / "konata.log")
+            assert "3 of 5" in capsys.readouterr().err
+            assert obs.registry().value("obs/timeline/dropped") == 6
+        finally:
+            obs.disable()
+
+    def test_no_warning_without_drops(self, tmp_path, capsys):
+        rec = TimelineRecorder()
+        _record(rec, 3)
+        rec.export_chrome(tmp_path / "trace.json")
+        assert capsys.readouterr().err == ""
+
 
 class TestKonataExport:
     def test_header_and_retirement(self, tmp_path):

@@ -6,12 +6,18 @@ from repro.workloads import all_workload_names, build_workload, generate_trace
 from repro.workloads.kernels import (
     build_constant_kernel,
     build_control_dep_kernel,
+    build_h2p_kernel,
     build_mixed_kernel,
     build_pointer_chase_kernel,
     build_random_kernel,
     build_strided_kernel,
 )
-from repro.workloads.suite import SUITE, get_spec
+from repro.workloads.suite import (
+    EXTRA,
+    SUITE,
+    extra_workload_names,
+    get_spec,
+)
 
 
 class TestSuite:
@@ -51,6 +57,18 @@ class TestSuite:
         a = build_workload("swim").program.code_bytes()
         b = build_workload("mgrid").program.code_bytes()
         assert a != b
+
+    def test_extra_workloads_resolve_but_stay_out_of_the_suite(self):
+        # h2p_hard is reachable by name for the h2p experiment without
+        # changing the paper's 36-workload suite (or any cached sweep).
+        assert "h2p_hard" in extra_workload_names()
+        assert "h2p_hard" not in all_workload_names()
+        assert len(SUITE) == 36 and len(EXTRA) >= 1
+        assert get_spec("h2p_hard").category == "INT"
+        kernel = build_workload("h2p_hard")
+        trace = generate_trace(kernel.program, 2000, name="h2p_hard",
+                               init_mem=kernel.init_mem)
+        assert len(trace.uops) >= 2000
 
 
 class TestKernelCharacter:
@@ -102,6 +120,42 @@ class TestKernelCharacter:
         branches = [u for u in trace.uops if u.is_cond_branch]
         taken = sum(u.branch_taken for u in branches)
         assert 0.3 < taken / len(branches) < 0.7
+
+    def test_h2p_kernel_branches_are_coin_flips(self):
+        kernel = build_h2p_kernel(seed=7, trip=64, hard_branches=2)
+        trace = self._loads(kernel, 8000)
+        from collections import defaultdict
+        by_pc = defaultdict(list)
+        for u in trace.uops:
+            if u.is_cond_branch:
+                by_pc[u.pc].append(u.branch_taken)
+        # The hard branches flip near 50/50; the loop-control branches are
+        # near-always taken — cost concentrates in the former.
+        rates = sorted(sum(t) / len(t) for t in by_pc.values() if len(t) > 50)
+        assert any(0.3 < r < 0.7 for r in rates)
+        assert rates[-1] > 0.9
+
+    def test_h2p_kernel_stepping_loads_hold_then_step(self):
+        kernel = build_h2p_kernel(seed=7, trip=64, stepping_loads=1,
+                                  change_period=8)
+        trace = self._loads(kernel, 8000)
+        from collections import defaultdict
+        by_pc = defaultdict(list)
+        for u in trace.uops:
+            if u.is_load:
+                by_pc[u.pc].append(u.value)
+        # Some load PC repeats one value for stretches, then steps to a
+        # new one (the used-then-wrong vp_squash generator).
+        stepped = False
+        for values in by_pc.values():
+            distinct = len(set(values))
+            if len(values) > 40 and 1 < distinct < len(values) / 4:
+                stepped = True
+        assert stepped
+
+    def test_h2p_kernel_change_period_validation(self):
+        with pytest.raises(ValueError):
+            build_h2p_kernel(change_period=6)
 
     def test_constant_kernel_reloads_constant(self):
         kernel = build_constant_kernel(seed=5, change_period=10_000)
