@@ -11,10 +11,18 @@ baseline: when the recorded host metadata (platform / machine / python)
 differs between the two files, the guard *skips* with exit 0 — a fork or a
 differently provisioned runner should not fail CI on hardware it never saw.
 
+The batched-sweep benches (``benchmarks/test_bench_batch_fig6a.py``)
+additionally record a serial/batched entry pair; the guard asserts the
+batched entry keeps at least ``--min-batch-speedup`` over its serial
+twin.  That ratio is taken within the fresh run (same host, same
+session), so it is enforced even when the wall-time diff is skipped for
+a host mismatch.
+
 Usage (what the ``perf-guard`` CI job runs)::
 
     PYTHONPATH=src REPRO_BENCH_TIMELINE=fresh_timeline.json \
-        python -m pytest benchmarks/test_bench_core_throughput.py -q
+        python -m pytest benchmarks/test_bench_core_throughput.py \
+            benchmarks/test_bench_batch_fig6a.py -q
     python examples/perf_guard.py --fresh fresh_timeline.json
 """
 
@@ -31,6 +39,23 @@ DEFAULT_MAX_REGRESSION = 0.25
 #: Host fields that must match for wall-clock numbers to be comparable.
 HOST_KEYS = ("platform", "machine", "python")
 
+#: (serial, batched) wall-second entry pairs from the batched-sweep
+#: benches: the batched entry must keep a real speedup over its serial
+#: reference.  Unlike the wall-time diff this is a *within-run* ratio
+#: (both entries come from the fresh timeline, same host, same session),
+#: so it is checked even when the committed baseline is from another
+#: host.
+BATCH_SPEEDUP_PAIRS = (
+    (
+        "batch_fig6a::test_bench_fig6a_grid_serial",
+        "batch_fig6a::test_bench_fig6a_grid_batched",
+    ),
+)
+
+#: Floor on serial/batched wall: the committed trajectory records >= 3x;
+#: 2.0 is the loud-failure line under single-core scheduling noise.
+DEFAULT_MIN_BATCH_SPEEDUP = 2.0
+
 
 def load(path: Path) -> dict:
     with open(path) as f:
@@ -38,6 +63,29 @@ def load(path: Path) -> dict:
     if doc.get("schema") != 1:
         sys.exit(f"{path}: unsupported BENCH_timeline schema {doc.get('schema')!r}")
     return doc
+
+
+def check_batch_speedup(fresh: dict, min_speedup: float) -> list[str]:
+    """Within-run check: every batched bench beats its serial twin.
+
+    Returns the failing batched entry keys; pairs whose entries are
+    absent from the fresh timeline (the batch benches did not run) are
+    silently skipped.
+    """
+    failures = []
+    walls = fresh["wall_seconds"]
+    for serial_key, batched_key in BATCH_SPEEDUP_PAIRS:
+        if serial_key not in walls or batched_key not in walls:
+            continue
+        speedup = walls[serial_key] / walls[batched_key]
+        verdict = "FAIL" if speedup < min_speedup else "ok"
+        print(
+            f"{verdict:4s} {batched_key}: {speedup:.2f}x over serial "
+            f"(floor {min_speedup:.2f}x)"
+        )
+        if speedup < min_speedup:
+            failures.append(batched_key)
+    return failures
 
 
 def main() -> int:
@@ -57,10 +105,19 @@ def main() -> int:
         default=DEFAULT_MAX_REGRESSION,
         help="max tolerated fractional µops/sec regression (default 0.25)",
     )
+    parser.add_argument(
+        "--min-batch-speedup",
+        type=float,
+        default=DEFAULT_MIN_BATCH_SPEEDUP,
+        help="min serial/batched wall ratio for the batched-sweep benches "
+             "(default 2.0; within-run, so checked even across hosts)",
+    )
     args = parser.parse_args()
 
     baseline = load(args.baseline)
     fresh = load(args.fresh)
+
+    batch_failures = check_batch_speedup(fresh, args.min_batch_speedup)
 
     mismatched = [
         k
@@ -75,12 +132,12 @@ def main() -> int:
                 f"fresh={fresh.get('host', {}).get(key)!r}"
             )
         print("perf guard SKIPPED: wall-clock baseline is from a different host")
-        return 0
+        return 1 if batch_failures else 0
 
     shared = sorted(set(baseline["wall_seconds"]) & set(fresh["wall_seconds"]))
     if not shared:
         print("perf guard SKIPPED: no shared experiments between the timelines")
-        return 0
+        return 1 if batch_failures else 0
 
     max_slowdown = 1.0 / (1.0 - args.max_regression)
     failures = []
@@ -100,6 +157,12 @@ def main() -> int:
         print(
             f"perf guard FAILED: {len(failures)}/{len(shared)} experiment(s) "
             f"regressed more than {args.max_regression:.0%} in µops/sec"
+        )
+        return 1
+    if batch_failures:
+        print(
+            f"perf guard FAILED: {len(batch_failures)} batched bench(es) "
+            f"below the {args.min_batch_speedup:.2f}x serial-speedup floor"
         )
         return 1
     print(f"perf guard OK: {len(shared)} experiment(s) within budget")

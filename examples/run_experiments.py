@@ -46,7 +46,17 @@ answers cached digests instantly and schedules the rest on its own pool.
 Results are verified (payload checksum + digest) and bit-identical to a
 local run, so reports come out byte-identical too.
 
-Run:  python examples/run_experiments.py [--quick] [--jobs N] [--no-cache]
+With ``--batch-variants`` the BeBoP sweep grids (Fig 6a/6b/7a/7b) run
+each workload's variant set as one batched trace pass instead of one
+full simulation per cell: the shared front end (trace decode, branch
+redirects, folded histories) executes once and per-variant predictor
+state lives on a variant axis of the table banks.  Results, digests and
+cache cells are bit-identical to the serial path (parity-suite
+enforced); only wall-clock changes.  See EXPERIMENTS.md "Batched
+sweeps".
+
+Run:  python examples/run_experiments.py [--quick] [--batch-variants]
+                                         [--jobs N] [--no-cache]
                                          [--skip ID ...] [--out report.txt]
                                          [--obs] [--obs-out trace.jsonl]
                                          [--timeline OUT.json]
@@ -95,6 +105,14 @@ def main() -> int:
     parser.add_argument("--job-timeout", type=float, default=None, metavar="S",
                         help="seconds to wait per parallel job before "
                              "retrying it (default: no timeout)")
+    parser.add_argument("--batch-variants", action="store_true",
+                        help="run BeBoP sweep cells that share a workload "
+                             "and trace length (the Fig 6a/6b/7a/7b grids) "
+                             "as one batched trace pass per group; results "
+                             "and cache cells are bit-identical, only "
+                             "wall-clock changes (ignored for cells the "
+                             "batched walk does not cover, and under "
+                             "--obs/--chaos)")
     parser.add_argument("--obs", action="store_true",
                         help="enable the observability layer: CPI-stack "
                              "report section + execution metrics")
@@ -182,7 +200,8 @@ def main() -> int:
                                   ("--chaos", bool(args.chaos)),
                                   ("--resume", bool(args.resume)),
                                   ("--cache-dir", bool(args.cache_dir)),
-                                  ("--no-cache", args.no_cache)):
+                                  ("--no-cache", args.no_cache),
+                                  ("--batch-variants", args.batch_variants)):
             if conflicting:
                 parser.error(f"{flag} configures local execution and "
                              f"cannot be combined with --server-url "
@@ -226,7 +245,10 @@ def main() -> int:
         retries = max(1, chaos.config.max_faults_per_job) if chaos else 1
         repro.exec.configure(jobs=args.jobs, cache=cache,
                              timeout=args.job_timeout, progress=progress,
-                             retries=retries, chaos=chaos, journal=journal)
+                             retries=retries, chaos=chaos, journal=journal,
+                             batch=args.batch_variants)
+        if args.batch_variants:
+            print("[exec] batched variant sweeps enabled")
 
     if args.quick:
         spec = RunSpec(

@@ -123,6 +123,37 @@ class BlockReadout:
         self.last_used: list[int] = []
 
 
+def dvtage_bank_fields(
+    npred: int,
+) -> tuple[tuple[Field, ...], tuple[Field, ...], tuple[Field, ...]]:
+    """(lvt, vt0, tagged) field declarations for an ``npred``-wide D-VTAGE.
+
+    The single source of truth for the predictor's bank layout — the
+    batched sweep engine allocates variant-stacked banks from the same
+    declarations so per-variant views are indistinguishable from the
+    banks a scalar predictor would build.
+    """
+    lvt = (
+        Field("tag", default=-1),
+        Field("last", width=npred, unsigned=True),
+        Field("byte_tags", default=FREE_TAG, width=npred),
+    )
+    vt0 = (
+        Field("strides", width=npred, unsigned=True),
+        Field("conf", width=npred),
+    )
+    tagged = (
+        Field("tag", default=-1),
+        Field("strides", width=npred, unsigned=True),
+        Field("conf", width=npred),
+        Field("useful"),
+        # Generation the useful bit was last written in; a stale
+        # generation reads as useful == 0 (O(1) periodic reset).
+        Field("useful_gen"),
+    )
+    return lvt, vt0, tagged
+
+
 class BlockDVTAGE:
     """The block-based Differential VTAGE predictor."""
 
@@ -132,6 +163,7 @@ class BlockDVTAGE:
         fpc: FPCPolicy | None = None,
         seed: int = 0xBEB0,
         table_backend: str | None = None,
+        banks=None,
     ) -> None:
         self.config = config if config is not None else BlockDVTAGEConfig()
         c = self.config
@@ -142,29 +174,32 @@ class BlockDVTAGE:
         self.history_lengths = geometric_history_lengths(
             c.components, c.min_history, c.max_history
         )
-        lvt_fields = (
-            Field("tag", default=-1),
-            Field("last", width=c.npred, unsigned=True),
-            Field("byte_tags", default=FREE_TAG, width=c.npred),
-        )
-        vt0_fields = (
-            Field("strides", width=c.npred, unsigned=True),
-            Field("conf", width=c.npred),
-        )
-        tagged_fields = (
-            Field("tag", default=-1),
-            Field("strides", width=c.npred, unsigned=True),
-            Field("conf", width=c.npred),
-            Field("useful"),
-            # Generation the useful bit was last written in; a stale
-            # generation reads as useful == 0 (O(1) periodic reset).
-            Field("useful_gen"),
-        )
-        self._lvt = make_bank(c.base_entries, lvt_fields, backend=table_backend)
-        self._vt0 = make_bank(c.base_entries, vt0_fields, backend=table_backend)
-        self._tagged = make_bank(
-            c.components * c.tagged_entries, tagged_fields, backend=table_backend
-        )
+        lvt_fields, vt0_fields, tagged_fields = dvtage_bank_fields(c.npred)
+        if banks is not None:
+            # Caller-provided storage (e.g. per-variant views of a
+            # variant-stacked bank from batch_stack); shapes must match
+            # what this config would have allocated.
+            self._lvt, self._vt0, self._tagged = banks
+            if (
+                self._lvt.entries != c.base_entries
+                or self._vt0.entries != c.base_entries
+                or self._tagged.entries != c.components * c.tagged_entries
+            ):
+                raise ValueError(
+                    "injected banks do not match the predictor geometry"
+                )
+        else:
+            self._lvt = make_bank(
+                c.base_entries, lvt_fields, backend=table_backend
+            )
+            self._vt0 = make_bank(
+                c.base_entries, vt0_fields, backend=table_backend
+            )
+            self._tagged = make_bank(
+                c.components * c.tagged_entries,
+                tagged_fields,
+                backend=table_backend,
+            )
         self.table_backend = self._lvt.backend
         self._l_tag = self._lvt.col("tag")
         self._l_last = self._lvt.col("last")
@@ -465,6 +500,96 @@ class BlockDVTAGE:
                 "gen": self._current_useful_gen,
             },
         )
+
+    # -- batched sweeps -------------------------------------------------------
+
+    @classmethod
+    def batch_stack(
+        cls,
+        configs,
+        seed: int = 0xBEB0,
+        table_backend: str | None = None,
+    ):
+        """N predictors over variant-stacked banks, one stack per bank.
+
+        Every config must share the bank shapes (npred, base_entries,
+        tagged_entries, components) so the variants can stack; other
+        knobs (confidence propagation, tag monotonicity, histories) may
+        differ freely.  Each predictor gets its own RNG/FPC streams —
+        exactly what N independently constructed predictors would have —
+        and a per-variant ``view`` of the shared stacks, so scalar
+        ``read``/``update`` code mutates stacked storage in place.
+
+        Returns ``(predictors, (lvt, vt0, tagged))`` with the stacked
+        banks exposed for vector expressions over ``col()`` and for
+        telemetry.
+        """
+        configs = [
+            c if c is not None else BlockDVTAGEConfig() for c in configs
+        ]
+        if not configs:
+            raise ValueError("batch_stack needs at least one config")
+        c0 = configs[0]
+        shape = (c0.npred, c0.base_entries, c0.tagged_entries, c0.components)
+        for c in configs[1:]:
+            if (c.npred, c.base_entries, c.tagged_entries,
+                    c.components) != shape:
+                raise ValueError(
+                    "configs with different bank shapes cannot share a "
+                    f"stack: {shape} != "
+                    f"{(c.npred, c.base_entries, c.tagged_entries, c.components)}"
+                )
+        lvt_fields, vt0_fields, tagged_fields = dvtage_bank_fields(c0.npred)
+        n = len(configs)
+        lvt = make_bank(
+            c0.base_entries, lvt_fields, backend=table_backend, variants=n
+        )
+        vt0 = make_bank(
+            c0.base_entries, vt0_fields, backend=table_backend, variants=n
+        )
+        tagged = make_bank(
+            c0.components * c0.tagged_entries,
+            tagged_fields,
+            backend=table_backend,
+            variants=n,
+        )
+        predictors = [
+            cls(
+                config=c,
+                seed=seed,
+                banks=(lvt.view(v), vt0.view(v), tagged.view(v)),
+            )
+            for v, c in enumerate(configs)
+        ]
+        return predictors, (lvt, vt0, tagged)
+
+    @staticmethod
+    def batch_step(
+        predictors,
+        block_pc: int,
+        hists,
+        retired,
+    ) -> list[tuple[BlockReadout, dict[int, int]]]:
+        """One fetch read + compose + retire update across every variant.
+
+        ``hists`` holds the per-variant :class:`HistoryState` (histories
+        may diverge across variants once predictions alter branch
+        resolution timing); ``retired`` the shared
+        ``(boundary, actual)`` list.  This loop-of-views walk over
+        :meth:`batch_stack` predictors is the authoritative batched
+        reference for D-VTAGE — the fused walk in
+        :mod:`repro.batch.runner` is the performance path and is held
+        bit-identical to the scalar engine by the parity suite.
+
+        Returns ``(readout, slot_actuals)`` per variant, predictions
+        composed against the committed LVT last values.
+        """
+        out = []
+        for v, pred in enumerate(predictors):
+            readout = pred.read(block_pc, hists[v])
+            pred.compose(readout, readout.lvt_last)
+            out.append((readout, pred.update(readout, retired)))
+        return out
 
     def storage_bits(self) -> int:
         """Bit-exact Table III accounting (without the speculative window —

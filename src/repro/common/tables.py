@@ -78,34 +78,42 @@ class Field(NamedTuple):
     unsigned: bool = False
 
 
+def _validate_layout(entries: int, fields: Sequence[Field]) -> tuple[Field, ...]:
+    """Shared entry/field validation for flat and variant-stacked banks."""
+    if entries <= 0:
+        raise ValueError(f"bank needs a positive entry count, got {entries}")
+    fields = tuple(fields)
+    if not fields:
+        raise ValueError("bank needs at least one field")
+    seen: set[str] = set()
+    for field in fields:
+        if field.name in seen:
+            raise ValueError(f"duplicate field name {field.name!r}")
+        seen.add(field.name)
+        if field.width < 1:
+            raise ValueError(
+                f"field {field.name!r} width must be >= 1, got {field.width}"
+            )
+        lo, hi = (0, _U64_MAX) if field.unsigned else (_I64_MIN, _I64_MAX)
+        if not lo <= field.default <= hi:
+            raise ValueError(
+                f"field {field.name!r} default {field.default} out of range"
+            )
+    return fields
+
+
 class TableBank:
     """Abstract struct-of-arrays bank; see module docstring for the API."""
 
     backend = "abstract"
 
+    #: Flat banks carry no variant axis; :class:`StackedTableBank` overrides.
+    variants: int | None = None
+
     def __init__(self, entries: int, fields: Sequence[Field]) -> None:
-        if entries <= 0:
-            raise ValueError(f"bank needs a positive entry count, got {entries}")
-        fields = tuple(fields)
-        if not fields:
-            raise ValueError("bank needs at least one field")
-        seen: set[str] = set()
-        for field in fields:
-            if field.name in seen:
-                raise ValueError(f"duplicate field name {field.name!r}")
-            seen.add(field.name)
-            if field.width < 1:
-                raise ValueError(
-                    f"field {field.name!r} width must be >= 1, got {field.width}"
-                )
-            lo, hi = (0, _U64_MAX) if field.unsigned else (_I64_MIN, _I64_MAX)
-            if not lo <= field.default <= hi:
-                raise ValueError(
-                    f"field {field.name!r} default {field.default} out of range"
-                )
         self.entries = entries
-        self.fields = fields
-        self._by_name = {field.name: field for field in fields}
+        self.fields = _validate_layout(entries, fields)
+        self._by_name = {field.name: field for field in self.fields}
 
     def field(self, name: str) -> Field:
         try:
@@ -267,10 +275,186 @@ class NumpyTableBank(TableBank):
     def fill(self, name: str, value: int) -> None:
         self.col(name)[:] = value
 
+    def dump(self) -> dict[str, list[int]]:
+        """Full state as plain-int lists.
+
+        ``ndarray.tolist()`` converts to builtin ``int`` per element by
+        construction — regression-tested, since a ``np.uint64`` leaking
+        out of a dump poisons JSON export and cross-backend state
+        comparison.
+        """
+        return {
+            field.name: self.col(field.name).tolist() for field in self.fields
+        }
+
+
+class StackedTableBank:
+    """``variants`` independent same-shape banks on a leading variant axis.
+
+    Batched sweeps run N predictor variants over one trace; when the
+    variants share a bank shape their table state lives in one stacked
+    bank so vectorized code can touch all variants per column at once.
+
+    * ``view(v)`` returns variant ``v`` as a real :class:`TableBank`
+      *sharing storage* with the stack — the scalar path runs on views
+      unchanged, which is what makes batched-vs-serial parity checkable.
+    * ``col(name)`` returns the stacked column: a tuple of per-variant
+      flat lists (python backend) or one ``(variants, entries * width)``
+      ndarray (numpy backend) whose row ``v`` aliases ``view(v)``'s
+      column.
+    * ``dump()`` returns one plain-int dict per variant (JSON-safe).
+
+    The python implementation is a loop of ordinary
+    :class:`PythonTableBank` instances and stays authoritative; the
+    numpy one must match it bit for bit.
+    """
+
+    backend = "abstract"
+
+    def __init__(self, variants: int, entries: int, fields: Sequence[Field]) -> None:
+        if variants <= 0:
+            raise ValueError(f"stacked bank needs variants >= 1, got {variants}")
+        self.variants = variants
+        self.entries = entries
+        self.fields = _validate_layout(entries, fields)
+        self._by_name = {field.name: field for field in self.fields}
+
+    def field(self, name: str) -> Field:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ValueError(
+                f"bank has no field {name!r}; fields: "
+                + ", ".join(self._by_name)
+            ) from None
+
+    def view(self, variant: int) -> TableBank:
+        """Variant ``variant`` as a storage-sharing :class:`TableBank`."""
+        raise NotImplementedError
+
+    def views(self) -> tuple[TableBank, ...]:
+        return tuple(self.view(v) for v in range(self.variants))
+
+    def col(self, name: str):
+        """The stacked column for ``name`` (variant-major)."""
+        raise NotImplementedError
+
+    # -- convenience ops (delegate to the per-variant views) -----------------
+
+    def read(self, variant: int, name: str, index: int) -> int:
+        return self.view(variant).read(name, index)
+
+    def write(self, variant: int, name: str, index: int, value: int) -> None:
+        self.view(variant).write(name, index, value)
+
+    def read_vec(self, variant: int, name: str, index: int) -> list[int]:
+        return self.view(variant).read_vec(name, index)
+
+    def write_vec(
+        self, variant: int, name: str, index: int, values: Sequence[int]
+    ) -> None:
+        self.view(variant).write_vec(name, index, values)
+
+    def probe(self, variant: int, name: str, index: int, expected: int) -> bool:
+        return self.view(variant).probe(name, index, expected)
+
+    def fill(self, name: str, value: int) -> None:
+        for v in range(self.variants):
+            self.view(v).fill(name, value)
+
+    def bulk_reset(self) -> None:
+        for field in self.fields:
+            self.fill(field.name, field.default)
+
+    def dump(self) -> list[dict[str, list[int]]]:
+        """Per-variant full state as plain-int lists (JSON-export safe)."""
+        return [self.view(v).dump() for v in range(self.variants)]
+
+
+class StackedPythonTableBank(StackedTableBank):
+    """Loop-of-banks reference implementation: one
+    :class:`PythonTableBank` per variant, stacked columns are tuples of
+    the underlying lists."""
+
+    backend = "python"
+
+    def __init__(self, variants: int, entries: int, fields: Sequence[Field]) -> None:
+        super().__init__(variants, entries, fields)
+        self._banks = tuple(
+            PythonTableBank(entries, self.fields) for _ in range(variants)
+        )
+        self._cols = {
+            field.name: tuple(bank.col(field.name) for bank in self._banks)
+            for field in self.fields
+        }
+
+    def view(self, variant: int) -> PythonTableBank:
+        return self._banks[variant]
+
+    def col(self, name: str) -> tuple[list[int], ...]:
+        try:
+            return self._cols[name]
+        except KeyError:
+            self.field(name)  # raises the informative ValueError
+            raise
+
+
+class _NumpyBankView(NumpyTableBank):
+    """A :class:`NumpyTableBank` whose columns alias one variant row of a
+    :class:`StackedNumpyTableBank` — writes go through to the stack."""
+
+    def __init__(self, entries: int, fields: Sequence[Field], cols) -> None:
+        TableBank.__init__(self, entries, fields)
+        self._cols = cols
+
+
+class StackedNumpyTableBank(StackedTableBank):
+    """One ``(variants, entries * width)`` ndarray per column.
+
+    Row ``v`` of each column is variant ``v``'s flat column; ``view(v)``
+    wraps those rows in a :class:`NumpyTableBank`-compatible view, so
+    scalar code and vector expressions mutate the same storage.
+    """
+
+    backend = "numpy"
+
+    def __init__(self, variants: int, entries: int, fields: Sequence[Field]) -> None:
+        np = _require_numpy()
+        super().__init__(variants, entries, fields)
+        self._cols = {}
+        for field in self.fields:
+            dtype = np.uint64 if field.unsigned else np.int64
+            self._cols[field.name] = np.full(
+                (variants, entries * field.width), field.default, dtype=dtype
+            )
+        self._views = tuple(
+            _NumpyBankView(
+                entries,
+                self.fields,
+                {name: arr[v] for name, arr in self._cols.items()},
+            )
+            for v in range(variants)
+        )
+
+    def view(self, variant: int) -> NumpyTableBank:
+        return self._views[variant]
+
+    def col(self, name: str):
+        try:
+            return self._cols[name]
+        except KeyError:
+            self.field(name)  # raises the informative ValueError
+            raise
+
 
 _BACKENDS: dict[str, type[TableBank]] = {
     "python": PythonTableBank,
     "numpy": NumpyTableBank,
+}
+
+_STACKED_BACKENDS: dict[str, type[StackedTableBank]] = {
+    "python": StackedPythonTableBank,
+    "numpy": StackedNumpyTableBank,
 }
 
 _default_backend: str | None = None
@@ -323,8 +507,19 @@ def use_table_backend(name: str) -> Iterator[str]:
 
 
 def make_bank(
-    entries: int, fields: Sequence[Field], backend: str | None = None
-) -> TableBank:
-    """Construct a bank on ``backend`` (default: the global backend)."""
+    entries: int,
+    fields: Sequence[Field],
+    backend: str | None = None,
+    variants: int | None = None,
+) -> TableBank | StackedTableBank:
+    """Construct a bank on ``backend`` (default: the global backend).
+
+    With ``variants=N`` the result is a :class:`StackedTableBank`
+    holding N independent same-shape banks on a leading variant axis
+    (batched sweeps); ``variants=None`` keeps the flat single-variant
+    bank.
+    """
     name = get_table_backend() if backend is None else _validate_backend(backend)
-    return _BACKENDS[name](entries, fields)
+    if variants is None:
+        return _BACKENDS[name](entries, fields)
+    return _STACKED_BACKENDS[name](variants, entries, fields)

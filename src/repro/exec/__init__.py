@@ -68,18 +68,21 @@ def configure(
     progress: ProgressMeter | None = None,
     chaos=None,
     journal=None,
+    batch: bool = False,
 ) -> Scheduler:
     """Install (and return) the process-wide default scheduler.
 
     ``chaos`` (a :class:`repro.chaos.FaultPlan`) and ``journal`` (a
     :class:`repro.chaos.RunJournal`) switch every subsequent sweep into
     fault-injected and/or crash-safe-resumable execution; both default to
-    ``None`` — the zero-overhead path.
+    ``None`` — the zero-overhead path.  ``batch=True`` runs batchable
+    shared-front-end groups (BeBoP variant sweeps over one workload —
+    :mod:`repro.batch`) in one trace pass each, bit-identically.
     """
     global _default_scheduler
     _default_scheduler = Scheduler(
         jobs=jobs, cache=cache, timeout=timeout, retries=retries,
-        progress=progress, chaos=chaos, journal=journal,
+        progress=progress, chaos=chaos, journal=journal, batch=batch,
     )
     return _default_scheduler
 

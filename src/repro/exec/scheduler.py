@@ -112,6 +112,15 @@ class Scheduler:
         Optional :class:`repro.chaos.RunJournal`; finished jobs are
         checkpointed as they complete and previously journaled jobs are
         not re-run.
+    batch:
+        When true, batchable cells sharing a front end (BeBoP sweeps on
+        the same workload/trace — see :mod:`repro.batch`) run as one
+        trace pass per group before the serial/parallel dispatch picks
+        up the rest.  Results are bit-identical (parity-suite enforced)
+        and land in the same cache cells, so this is purely a wall-clock
+        lever.  Ignored when chaos injection or the observability layer
+        is active, or when a non-default ``job_fn`` is installed — those
+        paths need the per-job execution boundary.
     """
 
     def __init__(
@@ -124,6 +133,7 @@ class Scheduler:
         job_fn: Callable[[JobSpec], SimStats] = run_job,
         chaos=None,
         journal=None,
+        batch: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -137,6 +147,7 @@ class Scheduler:
         self.job_fn = job_fn
         self.chaos = chaos
         self.journal = journal
+        self.batch = batch
 
     # -- public API -------------------------------------------------------
 
@@ -176,6 +187,12 @@ class Scheduler:
                 else:
                     pending.append(i)
 
+            computed = len(pending)
+            batched = 0
+            if pending and self._batch_eligible():
+                before = len(pending)
+                pending = self._run_batched_groups(specs, pending, results)
+                batched = before - len(pending)
             if pending:
                 if self.jobs <= 1 or (
                     len(pending) == 1 and self.timeout is None
@@ -188,13 +205,58 @@ class Scheduler:
                         self.cache.put(specs[i], results[i])
 
             span["total"] = len(specs)
-            span["computed"] = len(pending)
-            span["cached"] = len(specs) - len(pending) - resumed
+            span["computed"] = computed
+            span["batched"] = batched
+            span["cached"] = len(specs) - computed - resumed
             span["resumed"] = resumed
 
         if self.progress:
             self.progress.finish()
         return results  # type: ignore[return-value]
+
+    # -- batched groups ----------------------------------------------------
+
+    def _batch_eligible(self) -> bool:
+        """May this run use the fused batched walk at all?
+
+        Chaos injection, per-job observability accounting and substituted
+        ``job_fn``s all assume one execution per cell, so any of them
+        forces the per-job paths.
+        """
+        return (
+            self.batch
+            and self.chaos is None
+            and self.job_fn is run_job
+            and not obs.enabled()
+        )
+
+    def _run_batched_groups(self, specs, pending, results) -> list[int]:
+        """Run shared-front-end groups in one trace pass each.
+
+        Returns the indices the batched walk did not take (non-batchable
+        specs, singleton groups, or groups whose batched run failed —
+        those fall through to the ordinary per-job dispatch, which is
+        also the retry path).
+        """
+        from repro.batch import batchable_groups, run_batched_group
+
+        groups = batchable_groups([specs[i] for i in pending])
+        handled: set[int] = set()
+        for positions in groups.values():
+            group = [pending[p] for p in positions]
+            try:
+                stats = run_batched_group([specs[i] for i in group])
+            except Exception:
+                # The batch is an optimisation, not a semantic: let the
+                # per-job machinery run (and retry) these cells.
+                continue
+            for i, result in zip(group, stats):
+                results[i] = result
+                if self.cache is not None:
+                    self.cache.put(specs[i], result)
+                handled.add(i)
+                self._complete(i, specs, results)
+        return [i for i in pending if i not in handled]
 
     # -- serial path ------------------------------------------------------
 

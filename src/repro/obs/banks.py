@@ -77,10 +77,16 @@ class BankTelemetry:
                 f"{components} component(s)"
             )
         self._names.add(name)
+        # A variant-stacked bank (batched sweeps) is sampled as
+        # ``variants`` independent banks, one telemetry row each — not as
+        # one flattened bank, which would smear every variant's occupancy
+        # together.
+        variants = getattr(bank, "variants", None)
         self._banks.append({
             "name": name,
             "bank": bank,
             "components": components,
+            "variants": variants,
             "tag_field": tag_field,
             "tag_invalid": tag_invalid,
             "useful_field": useful_field,
@@ -88,8 +94,16 @@ class BankTelemetry:
             "gen": gen,
         })
         if tag_field is not None:
-            self._ages[name] = [0] * bank.entries
-            self._prev_tags[name] = [tag_invalid] * bank.entries
+            for key in self._age_keys(name, variants):
+                self._ages[key] = [0] * bank.entries
+                self._prev_tags[key] = [tag_invalid] * bank.entries
+
+    @staticmethod
+    def _age_keys(name: str, variants: int | None) -> list[str]:
+        """Age-state keys: one per variant for stacked banks."""
+        if variants is None:
+            return [name]
+        return [f"{name}[{v}]" for v in range(variants)]
 
     def attach(self, sources) -> None:
         """Register every bank description in ``sources`` (the shape
@@ -108,24 +122,44 @@ class BankTelemetry:
 
     def _sample_bank(self, spec: dict) -> dict:
         bank = spec["bank"]
-        name = spec["name"]
+        if spec["variants"] is None:
+            return self._sample_state(spec, bank.dump(), spec["name"])
+        # Stacked bank: one row per variant (each with its own age
+        # tracking), plus cross-variant aggregates so the existing
+        # curve()/summary() keys keep working.
+        rows = [
+            self._sample_state(spec, bank.view(v).dump(), key)
+            for v, key in enumerate(self._age_keys(spec["name"],
+                                                   spec["variants"]))
+        ]
+        out = {
+            "entries": bank.entries,
+            "variants": rows,
+            "occupancy": sum(r["occupancy"] for r in rows) / len(rows),
+        }
+        if all("useful_mass" in r for r in rows):
+            out["useful_mass"] = sum(r["useful_mass"] for r in rows)
+        return out
+
+    def _sample_state(self, spec: dict, dump: dict, age_key: str) -> dict:
+        """Sample one flat bank state (a whole bank, or one variant)."""
+        bank = spec["bank"]
         components = spec["components"]
         per_comp = bank.entries // components
-        dump = bank.dump()
 
         tag_field = spec["tag_field"]
         tags = dump[tag_field] if tag_field is not None else None
         invalid = spec["tag_invalid"]
 
-        ages = self._ages.get(name)
+        ages = self._ages.get(age_key)
         if tags is not None:
-            prev = self._prev_tags[name]
+            prev = self._prev_tags[age_key]
             for i, tag in enumerate(tags):
                 if tag != invalid and tag == prev[i]:
                     ages[i] += 1
                 else:
                     ages[i] = 0
-            self._prev_tags[name] = list(tags)
+            self._prev_tags[age_key] = list(tags)
 
         useful = None
         if spec["useful_field"] is not None:
@@ -211,6 +245,8 @@ class BankTelemetry:
                 "n_components": spec["components"],
                 "occupancy_curve": self.curve(name),
             }
+            if spec["variants"] is not None:
+                entry["n_variants"] = spec["variants"]
             if last is not None and name in last["banks"]:
                 entry["final"] = last["banks"][name]
             banks[name] = entry

@@ -1,0 +1,204 @@
+"""Predictor-level batched-step parity.
+
+``batch_step`` runs one predict-then-train step for N variants over a
+variant-stacked bank; these tests pin it bit-identical — predictions and
+final table state — to N independently constructed scalar predictors fed
+the same stream, on both storage backends.  The python stacked path is
+the authoritative loop-of-banks transcription; the numpy path vectorizes
+over the variant axis and must not be distinguishable from it.
+"""
+
+import pytest
+
+from repro.bebop.predictor import BlockDVTAGE, BlockDVTAGEConfig
+from repro.common.rng import XorShift64
+from repro.common.tables import make_bank, numpy_available
+from repro.predictors.base import HistoryState
+from repro.predictors.confidence import FPCPolicy
+from repro.predictors.last_value import (
+    TABLE_FIELDS as LVP_FIELDS,
+    LastValuePredictor,
+)
+from repro.predictors.stride import (
+    TABLE_FIELDS as STRIDE_FIELDS,
+    StridePredictor,
+    TwoDeltaStridePredictor,
+)
+
+BACKENDS = [
+    "python",
+    pytest.param("numpy", marks=pytest.mark.skipif(
+        not numpy_available(), reason="numpy backend not installed")),
+]
+
+N = 4
+ENTRIES = 256
+HIST = HistoryState(0, 0)
+U64 = (1 << 64) - 1
+
+
+def _steps(n, seed=7):
+    """A (pc, uop_index, actual) stream mixing repeats, strides and noise.
+
+    Small tables + 24 PCs force tag conflicts and entry stealing; the
+    value modes exercise last-value hits, stride chains, wild values and
+    the top bit (unsigned-column masking).
+    """
+    rng = XorShift64(seed)
+    pcs = [0x40_0000 + 4 * i for i in range(24)]
+    last = {}
+    out = []
+    for _ in range(n):
+        pc = pcs[rng.next_below(len(pcs))]
+        uop = rng.next_below(4)
+        key = (pc, uop)
+        mode = rng.next_below(4)
+        if mode == 0:
+            actual = last.get(key, 0)
+        elif mode == 1:
+            actual = (last.get(key, 0) + 8) & U64
+        elif mode == 2:
+            actual = rng.next_u64()
+        else:
+            actual = (1 << 63) | rng.next_bits(8)
+        last[key] = actual
+        out.append((pc, uop, actual))
+    return out
+
+
+def _pkey(pred):
+    return (
+        None
+        if pred is None
+        else (pred.value, pred.confident, pred.provider, pred.conf)
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_last_value_batch_step_parity(backend):
+    refs = [
+        LastValuePredictor(
+            entries=ENTRIES,
+            fpc=FPCPolicy(seed=0xF9C + v),
+            table_backend=backend,
+        )
+        for v in range(N)
+    ]
+    bank = make_bank(ENTRIES, LVP_FIELDS, backend=backend, variants=N)
+    fpcs = [FPCPolicy(seed=0xF9C + v) for v in range(N)]
+    for pc, uop, actual in _steps(3000):
+        want = []
+        for ref in refs:
+            pred = ref.predict(pc, uop, HIST)
+            ref.train(pc, uop, HIST, actual, pred)
+            want.append(pred)
+        got = LastValuePredictor.batch_step(bank, fpcs, pc, uop, actual)
+        assert [_pkey(p) for p in got] == [_pkey(p) for p in want]
+    assert bank.dump() == [ref._table.dump() for ref in refs]
+
+
+@pytest.mark.parametrize("cls", [StridePredictor, TwoDeltaStridePredictor])
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_stride_batch_step_parity(cls, backend):
+    refs = [
+        cls(
+            entries=ENTRIES,
+            fpc=FPCPolicy(seed=0xF9C + v),
+            table_backend=backend,
+        )
+        for v in range(N)
+    ]
+    bank = make_bank(ENTRIES, STRIDE_FIELDS, backend=backend, variants=N)
+    fpcs = [FPCPolicy(seed=0xF9C + v) for v in range(N)]
+    for pc, uop, actual in _steps(3000):
+        want = []
+        for ref in refs:
+            pred = ref.predict(pc, uop, HIST)
+            ref.train(pc, uop, HIST, actual, pred)
+            want.append(pred)
+        got = cls.batch_step(bank, fpcs, pc, uop, actual)
+        assert [_pkey(p) for p in got] == [_pkey(p) for p in want]
+    assert bank.dump() == [ref._table.dump() for ref in refs]
+
+
+def test_batch_step_requires_stacked_bank():
+    bank = make_bank(ENTRIES, LVP_FIELDS, backend="python")
+    with pytest.raises(ValueError, match="variant-stacked"):
+        LastValuePredictor.batch_step(bank, [FPCPolicy()], 0x400, 0, 1)
+
+
+# ---------------------------------------------------------------------------
+# BlockDVTAGE: stacked views driving the scalar read/compose/update path
+# ---------------------------------------------------------------------------
+
+def _dvtage_stream(n, seed=11):
+    """(block_pc, hist, retired) instances over a working set of blocks."""
+    rng = XorShift64(seed)
+    blocks = [0x40_0000 + 0x40 * i for i in range(12)]
+    vals = {}
+    out = []
+    for _ in range(n):
+        block = blocks[rng.next_below(len(blocks))]
+        hist = HistoryState(rng.next_bits(24), rng.next_bits(12))
+        retired = []
+        used = set()
+        for _ in range(rng.next_below(3) + 1):
+            boundary = rng.next_below(16)
+            if boundary in used:
+                continue
+            used.add(boundary)
+            prev = vals.setdefault((block, boundary), rng.next_bits(16))
+            vals[(block, boundary)] = (prev + 8) & U64
+            retired.append((boundary, vals[(block, boundary)]))
+        retired.sort()
+        out.append((block, hist, retired))
+    return out
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_dvtage_batch_stack_parity(backend):
+    configs = [
+        BlockDVTAGEConfig(),
+        BlockDVTAGEConfig(propagate_confidence=False),
+        BlockDVTAGEConfig(monotonic_byte_tags=False),
+        BlockDVTAGEConfig(max_history=32),
+    ]
+    refs = [BlockDVTAGE(config=c, table_backend=backend) for c in configs]
+    batch, (lvt, vt0, tagged) = BlockDVTAGE.batch_stack(
+        configs, table_backend=backend
+    )
+    assert lvt.variants == len(configs)
+    for block, hist, retired in _dvtage_stream(600):
+        want = []
+        for ref in refs:
+            readout = ref.read(block, hist)
+            ref.compose(readout, readout.lvt_last)
+            want.append((readout.values, ref.update(readout, retired)))
+        got = BlockDVTAGE.batch_step(
+            batch, block, [hist] * len(batch), retired
+        )
+        for v in range(len(refs)):
+            assert got[v][0].values == want[v][0]
+            assert got[v][1] == want[v][1]
+    for v, ref in enumerate(refs):
+        assert lvt.view(v).dump() == ref._lvt.dump()
+        assert vt0.view(v).dump() == ref._vt0.dump()
+        assert tagged.view(v).dump() == ref._tagged.dump()
+
+
+def test_batch_stack_rejects_shape_mismatch():
+    with pytest.raises(ValueError, match="bank shapes"):
+        BlockDVTAGE.batch_stack(
+            [BlockDVTAGEConfig(), BlockDVTAGEConfig(npred=4)]
+        )
+    with pytest.raises(ValueError, match="at least one"):
+        BlockDVTAGE.batch_stack([])
+
+
+def test_injected_banks_must_match_geometry():
+    _preds, stacks = BlockDVTAGE.batch_stack([None, None])
+    with pytest.raises(ValueError, match="geometry"):
+        BlockDVTAGE(
+            config=BlockDVTAGEConfig(base_entries=1024),
+            banks=tuple(stack.view(0) for stack in stacks),
+        )

@@ -160,6 +160,113 @@ class TestBankOps:
 
 
 # ---------------------------------------------------------------------------
+# Boundary conditions: last entry, vector lanes, 64-bit extremes.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBoundaryOps:
+    def test_last_entry_scalar_and_probe(self, backend):
+        bank = make_bank(4, FIELDS, backend=backend)
+        last = bank.entries - 1
+        assert bank.probe("tag", last, -1)
+        bank.write("tag", last, 31)
+        assert bank.read("tag", last) == 31
+        assert bank.probe("tag", last, 31)
+        assert not bank.probe("tag", last, -1)
+
+    def test_last_entry_vector_lanes(self, backend):
+        """The final lane of the final entry is the last flat slot —
+        an off-by-one in ``entry * width + lane`` addressing lands out of
+        bounds or in a neighbour."""
+        bank = make_bank(4, FIELDS, backend=backend)
+        last = bank.entries - 1
+        bank.write_vec("vec", last, (7, 8, 9))
+        assert bank.read_vec("vec", last) == [7, 8, 9]
+        col = bank.col("vec")
+        assert int(col[last * 3 + 2]) == 9
+        # The neighbouring entry is untouched.
+        assert bank.read_vec("vec", last - 1) == [0, 0, 0]
+        assert len(bank.dump()["vec"]) == bank.entries * 3
+
+    def test_unsigned_64bit_extremes_round_trip(self, backend):
+        """Pre-masked unsigned values survive both backends bit-exactly
+        at the top of the range (uint64 vs python-int storage)."""
+        bank = make_bank(2, FIELDS, backend=backend)
+        top = (1 << 64) - 1
+        high = 1 << 63
+        bank.write("value", 1, top)
+        bank.write_vec("vec", 1, (top, high, 0))
+        assert bank.read("value", 1) == top
+        assert bank.read_vec("vec", 1) == [top, high, 0]
+        assert bank.probe("value", 1, top)
+
+    def test_signed_extremes_round_trip(self, backend):
+        bank = make_bank(2, FIELDS, backend=backend)
+        lo, hi = -(1 << 63), (1 << 63) - 1
+        bank.write("conf", 0, lo)
+        bank.write("conf", 1, hi)
+        assert bank.read("conf", 0) == lo
+        assert bank.read("conf", 1) == hi
+
+    def test_stacked_views_isolate_variants_at_boundaries(self, backend):
+        """Writes to one variant's last entry never alias a neighbour
+        variant (the rows of the stacked column are independent)."""
+        stack = make_bank(4, FIELDS, backend=backend, variants=3)
+        last = stack.entries - 1
+        top = (1 << 64) - 1
+        stack.write_vec(2, "vec", last, (1, 2, 3))
+        stack.write(0, "value", last, top)
+        assert stack.read_vec(2, "vec", last) == [1, 2, 3]
+        assert stack.read_vec(0, "vec", last) == [0, 0, 0]
+        assert stack.read(0, "value", last) == top
+        assert stack.read(1, "value", last) == 0
+        assert stack.probe(2, "tag", last, -1)
+        view = stack.view(2)
+        view.write("tag", last, 9)
+        assert stack.read(2, "tag", last) == 9
+        assert stack.read(1, "tag", last) == -1
+
+
+# ---------------------------------------------------------------------------
+# dump() returns builtin ints in every width configuration (JSON safety).
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_dump_returns_builtin_ints_in_every_width_config(backend):
+    """Regression: a numpy scalar inside a dump poisons JSON export
+    (cache blobs, golden stats) and cross-backend comparison."""
+    import json
+
+    fields = (
+        Field("tag", default=-1),
+        Field("u1", unsigned=True),
+        Field("w4", width=4),
+        Field("uw3", width=3, unsigned=True),
+    )
+    bank = make_bank(3, fields, backend=backend)
+    bank.write("u1", 2, (1 << 64) - 1)
+    bank.write_vec("uw3", 2, (1 << 63, 5, 0))
+    bank.write_vec("w4", 0, (-1, -(1 << 63), (1 << 63) - 1, 0))
+    dumped = bank.dump()
+    for name, col in dumped.items():
+        assert all(type(v) is int for v in col), name
+    json.dumps(dumped)   # raises TypeError on any numpy scalar
+
+    stack = make_bank(3, fields, backend=backend, variants=2)
+    stack.view(1).write("u1", 2, (1 << 64) - 1)
+    stack.write_vec(0, "uw3", 1, ((1 << 64) - 1, 0, 1))
+    per_variant = stack.dump()
+    assert len(per_variant) == 2
+    assert all(
+        type(v) is int
+        for state in per_variant
+        for col in state.values()
+        for v in col
+    )
+    json.dumps(per_variant)
+
+
+# ---------------------------------------------------------------------------
 # Backend registry and scoping.
 # ---------------------------------------------------------------------------
 
