@@ -46,6 +46,18 @@ answers cached digests instantly and schedules the rest on its own pool.
 Results are verified (payload checksum + digest) and bit-identical to a
 local run, so reports come out byte-identical too.
 
+With ``--dist-workers N`` sweeps execute on a *distributed* work-stealing
+backend instead of the local pool: an embedded lease-based coordinator
+(:mod:`repro.dist`) hands cells to N ``python -m repro.dist worker``
+subprocesses that pull jobs, heartbeat while computing, and write results
+into the shared cache; a killed or hung worker's lease expires and its
+job is retried elsewhere, so the report stays byte-identical to a serial
+run.  ``--coordinator-url URL`` joins an already-running coordinator
+(``python -m repro.dist coordinator``) whose workers may live on other
+hosts.  ``--chaos`` combines with ``--dist-workers`` — verdicts are drawn
+by the coordinator, so worker crashes and corrupt cache blobs rehearse
+the full distributed recovery path.
+
 With ``--batch-variants`` the BeBoP sweep grids (Fig 6a/6b/7a/7b) run
 each workload's variant set as one batched trace pass instead of one
 full simulation per cell: the shared front end (trace decode, branch
@@ -157,6 +169,25 @@ def main() -> int:
                              "server (python -m repro.serve) instead of "
                              "locally; incompatible with --jobs/--chaos/"
                              "--resume/--cache-dir/--no-cache")
+    parser.add_argument("--dist-workers", type=int, default=0, metavar="N",
+                        help="run sweeps on a distributed work-stealing "
+                             "backend: embed a lease-based coordinator and "
+                             "spawn N 'python -m repro.dist worker' "
+                             "subprocesses that pull jobs and write the "
+                             "shared cache (requires the cache; --chaos "
+                             "faults are injected by the coordinator)")
+    parser.add_argument("--coordinator-url", default=None, metavar="URL",
+                        help="execute sweeps through an already-running "
+                             "coordinator (python -m repro.dist "
+                             "coordinator) whose workers may be remote; "
+                             "incompatible with --chaos (give the "
+                             "coordinator its own --chaos)")
+    parser.add_argument("--lease-seconds", type=float, default=30.0,
+                        metavar="S",
+                        help="job lease duration for the embedded "
+                             "coordinator (--dist-workers); a lease whose "
+                             "worker stops heartbeating for this long is "
+                             "re-queued (default 30)")
     parser.add_argument("--table-backend", default=None,
                         choices=("python", "numpy"),
                         help="predictor table storage backend (default: "
@@ -194,7 +225,29 @@ def main() -> int:
     chaos = None
     journal = None
     cache = None
+    dist_coordinator = None
+    dist_pool = None
+    dist_url = None
     progress = repro.exec.ProgressMeter()
+    use_dist = bool(args.dist_workers or args.coordinator_url)
+    if args.dist_workers < 0:
+        parser.error(f"--dist-workers must be >= 0, got {args.dist_workers}")
+    if args.dist_workers and args.coordinator_url:
+        parser.error("--dist-workers embeds its own coordinator; use one "
+                     "of --dist-workers / --coordinator-url")
+    if use_dist and args.server_url:
+        parser.error("--server-url and the distributed backend are "
+                     "different remote execution paths; pick one")
+    if args.coordinator_url and args.chaos:
+        parser.error("--chaos with an external coordinator must be given "
+                     "to that coordinator (python -m repro.dist "
+                     "coordinator --chaos ...), which draws the verdicts")
+    if use_dist and args.no_cache:
+        parser.error("the distributed backend needs the shared result "
+                     "cache; drop --no-cache")
+    if use_dist and args.batch_variants:
+        parser.error("--batch-variants needs local execution (workers own "
+                     "the per-job boundary); drop it for distributed runs")
     if args.server_url:
         for flag, conflicting in (("--jobs", args.jobs != 1),
                                   ("--chaos", bool(args.chaos)),
@@ -230,7 +283,7 @@ def main() -> int:
             print(f"[exec] chaos enabled: {config}")
 
         if args.resume:
-            from repro.chaos import RunJournal
+            from repro.chaos import RunJournal, merge_journals
             _ensure_parent(args.resume)
             journal = RunJournal(args.resume)
             if journal.loaded:
@@ -239,14 +292,65 @@ def main() -> int:
             if journal.skipped_lines:
                 print(f"[exec] journal: {journal.skipped_lines} invalid "
                       f"line(s) ignored")
+            # A previous distributed run checkpointed per-worker journals
+            # next to the driver's; fold them in so their finished jobs
+            # count as done no matter which process recorded them.
+            workers_dir = _worker_journal_dir(args.resume)
+            worker_journals = sorted(workers_dir.glob("*.jsonl"))
+            if worker_journals:
+                before = len(journal)
+                merge_journals(worker_journals, into=journal)
+                print(f"[dist] merged {len(worker_journals)} worker "
+                      f"journal(s): {len(journal) - before} additional "
+                      f"finished job(s)")
 
         if not args.no_cache:
-            cache = repro.exec.ResultCache(root=args.cache_dir, chaos=chaos)
+            # On the distributed path blob corruption is injected by the
+            # *workers* (the coordinator ships the verdicts), so the
+            # driver's own cache must not double-inject.
+            cache = repro.exec.ResultCache(
+                root=args.cache_dir, chaos=None if use_dist else chaos
+            )
+
+        backend = None
+        if use_dist:
+            from repro.dist import (
+                CoordinatorThread, DistBackend, DistClient, WorkerPool,
+            )
+            if args.coordinator_url:
+                dist_url = args.coordinator_url
+                try:
+                    DistClient(dist_url).dist_status()
+                except ValueError as exc:
+                    parser.error(str(exc))
+                except Exception as exc:
+                    parser.error(f"no coordinator at {dist_url}: {exc}")
+                print(f"[dist] using coordinator at {dist_url}")
+            else:
+                lease_retries = (max(3, chaos.config.max_faults_per_job + 1)
+                                 if chaos else 3)
+                dist_coordinator = CoordinatorThread(
+                    lease_seconds=args.lease_seconds, retries=lease_retries,
+                    chaos=chaos,
+                ).start()
+                dist_url = dist_coordinator.url
+                journal_dir = (_worker_journal_dir(args.resume)
+                               if args.resume else None)
+                dist_pool = WorkerPool(
+                    dist_url, args.dist_workers, cache_root=str(cache.root),
+                    journal_dir=journal_dir,
+                ).start()
+                print(f"[dist] embedded coordinator at {dist_url}, "
+                      f"{args.dist_workers} worker process(es)")
+            backend = DistBackend(dist_url)
+
         retries = max(1, chaos.config.max_faults_per_job) if chaos else 1
         repro.exec.configure(jobs=args.jobs, cache=cache,
                              timeout=args.job_timeout, progress=progress,
-                             retries=retries, chaos=chaos, journal=journal,
-                             batch=args.batch_variants)
+                             retries=retries,
+                             chaos=None if use_dist else chaos,
+                             journal=journal, batch=args.batch_variants,
+                             backend=backend)
         if args.batch_variants:
             print("[exec] batched variant sweeps enabled")
 
@@ -358,6 +462,32 @@ def main() -> int:
     if chaos is not None:
         print(f"[exec] {chaos.summary()}")
 
+    if use_dist:
+        status = None
+        try:
+            from repro.dist import DistClient
+            status = DistClient(dist_url).dist_status()
+        except Exception as exc:               # summary only — best effort
+            print(f"[dist] coordinator status unavailable: {exc}")
+        if dist_pool is not None:
+            dist_pool.stop()
+        if dist_coordinator is not None:
+            dist_coordinator.stop()
+        if status is not None:
+            counters = status.get("counters", {})
+            jobs = status.get("jobs", {})
+            bits = [f"{counters.get('completions', 0)} completion(s)",
+                    f"{counters.get('steals', 0)} steal(s)",
+                    f"{counters.get('lease_expired', 0)} expired lease(s)",
+                    f"{counters.get('requeues', 0)} requeue(s)"]
+            if dist_pool is not None and dist_pool.respawns:
+                bits.append(f"{dist_pool.respawns} worker respawn(s)")
+            print(f"[dist] {', '.join(bits)}")
+            leaked = jobs.get("leased", 0)
+            if leaked:
+                print(f"[dist] WARNING: {leaked} lease(s) still held at "
+                      f"shutdown", file=sys.stderr)
+
     if args.obs:
         snapshot = obs.registry().snapshot()
         keys = ("exec/job/count", "exec/job/seconds", "exec/job/retries",
@@ -386,6 +516,13 @@ def main() -> int:
             print(f"[obs ] {len(exposition.splitlines())} Prometheus "
                   f"exposition line(s) written to {args.metrics_out}")
     return 0
+
+
+def _worker_journal_dir(resume_path: str) -> "Path":
+    """Per-worker journals live next to the driver's resume journal in a
+    ``<resume>.workers/`` directory, one ``<worker-id>.jsonl`` each."""
+    from pathlib import Path
+    return Path(resume_path + ".workers")
 
 
 def _ensure_parent(path: str) -> None:

@@ -27,8 +27,11 @@ recoveries as ``exec/fault/recovered``, detected corruption as
 
 from repro.chaos.journal import (
     JOURNAL_SCHEMA,
+    MergedJournal,
     RunJournal,
     default_journal_path,
+    merge_journals,
+    read_journal,
     resume_guard,
 )
 from repro.chaos.plan import (
@@ -39,6 +42,7 @@ from repro.chaos.plan import (
     FaultPlan,
     InjectedFault,
     apply_fault,
+    corrupt_file,
     parse_chaos_spec,
     run_faulted,
 )
@@ -51,10 +55,14 @@ __all__ = [
     "InjectedFault",
     "JOB_FAULT_KINDS",
     "JOURNAL_SCHEMA",
+    "MergedJournal",
     "RunJournal",
     "apply_fault",
+    "corrupt_file",
     "default_journal_path",
+    "merge_journals",
     "parse_chaos_spec",
+    "read_journal",
     "resume_guard",
     "run_faulted",
 ]

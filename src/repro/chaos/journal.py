@@ -56,6 +56,49 @@ def default_journal_path(name: str = "sweep") -> Path:
     return default_cache_root() / "journals" / f"{name}.jsonl"
 
 
+def read_journal(path: str | os.PathLike, version: str | None = None
+                 ) -> tuple[dict[str, tuple[dict, "SimStats"]], int, int]:
+    """Read one journal file into ``{digest: (spec_dict, stats)}``.
+
+    Returns ``(records, skipped, duplicates)``.  The validity rules are
+    exactly :class:`RunJournal`'s: torn/foreign/other-version lines and
+    checksum mismatches are skipped and counted, and only the *first*
+    record per digest within one file counts (an append-only journal
+    cannot legitimately complete one digest twice).
+    """
+    from repro.exec.cache import payload_checksum
+    jobs = _exec_jobs()
+    if version is None:
+        version = _code_version()
+    records: dict[str, tuple[dict, "SimStats"]] = {}
+    skipped = 0
+    duplicates = 0
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+                if rec.get("version") != version:
+                    skipped += 1
+                    continue
+                digest = rec["digest"]
+                payload = {"spec": rec["spec"], "stats": rec["stats"]}
+                if rec.get("sha256") != payload_checksum(payload):
+                    skipped += 1
+                    continue
+                stats = jobs.stats_from_dict(rec["stats"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                skipped += 1
+                continue
+            if digest in records:
+                duplicates += 1
+                continue
+            records[digest] = (rec["spec"], stats)
+    return records, skipped, duplicates
+
+
 class RunJournal:
     """Append-only JSONL record of per-job outcomes, keyed by spec digest.
 
@@ -82,31 +125,10 @@ class RunJournal:
     # -- reading -----------------------------------------------------------
 
     def _load(self) -> None:
-        from repro.exec.cache import payload_checksum
-        jobs = _exec_jobs()
-        with open(self.path, encoding="utf-8") as f:
-            for line in f:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    rec = json.loads(line)
-                    if rec.get("version") != self.version:
-                        self.skipped_lines += 1
-                        continue
-                    digest = rec["digest"]
-                    payload = {"spec": rec["spec"], "stats": rec["stats"]}
-                    if rec.get("sha256") != payload_checksum(payload):
-                        self.skipped_lines += 1
-                        continue
-                    stats = jobs.stats_from_dict(rec["stats"])
-                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-                    self.skipped_lines += 1
-                    continue
-                if digest in self._done:
-                    self.duplicates += 1
-                    continue
-                self._done[digest] = stats
+        records, self.skipped_lines, self.duplicates = read_journal(
+            self.path, self.version
+        )
+        self._done = {digest: stats for digest, (_, stats) in records.items()}
         self.loaded = len(self._done)
 
     def get(self, spec: "JobSpec") -> "SimStats | None":
@@ -180,6 +202,99 @@ class RunJournal:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class MergedJournal:
+    """Read-only resume view folded from several per-worker journals.
+
+    Duck-types :class:`RunJournal`'s read half (:meth:`get`,
+    ``in``, ``len``) so resume logic can consume either.  It owns no file
+    handle and refuses :meth:`record` — pass ``into=`` to
+    :func:`merge_journals` when the merged state must also be persisted.
+    """
+
+    def __init__(self, done: dict, sources: int, skipped_lines: int,
+                 duplicates: int) -> None:
+        self._done = done
+        self.sources = sources
+        self.loaded = len(done)
+        self.skipped_lines = skipped_lines
+        self.duplicates = duplicates
+        self.hits = 0
+
+    def get(self, spec: "JobSpec") -> "SimStats | None":
+        stats = self._done.get(spec.digest())
+        if stats is not None:
+            self.hits += 1
+            obs.counter("exec/journal/resumed").inc()
+        return stats
+
+    def __contains__(self, spec: "JobSpec") -> bool:
+        return spec.digest() in self._done
+
+    def __len__(self) -> int:
+        return len(self._done)
+
+    def record(self, spec, stats) -> bool:
+        raise TypeError(
+            "MergedJournal is read-only; merge into a RunJournal "
+            "(merge_journals(paths, into=journal)) to record new jobs"
+        )
+
+    def summary(self) -> str:
+        text = (f"merged journal ({self.sources} source(s)): "
+                f"{self.loaded} finished job(s)")
+        if self.skipped_lines:
+            text += f", {self.skipped_lines} invalid line(s) skipped"
+        return text
+
+
+def merge_journals(paths, into: RunJournal | None = None):
+    """Fold multiple per-worker journals into one resume view.
+
+    A distributed sweep writes one journal per worker; on ``--resume`` all
+    of them (plus the driver's own) must count as finished work.  Records
+    are folded **last-writer-wins on digest** across ``paths`` (in the
+    order given — sort paths for a stable fold), and each journal's
+    torn/foreign/tampered lines are skipped per file exactly as
+    :class:`RunJournal` would.  Results are deterministic per digest, so
+    which journal wins never changes the stats — last-writer-wins is
+    about surviving duplicated completions, not choosing between answers.
+
+    Without ``into`` the fold is returned as a read-only
+    :class:`MergedJournal`.  With ``into`` (a writable
+    :class:`RunJournal`), every digest the fold has and ``into`` lacks is
+    **appended to it** — the primary journal becomes the consolidated
+    resume state, so a later resume needs only that one file — and
+    ``into`` is returned.  Paths that do not exist are skipped (a worker
+    that never completed a job has no journal); unreadable ones raise.
+    """
+    folded: dict[str, tuple[dict, "SimStats"]] = {}
+    sources = 0
+    skipped = 0
+    duplicates = 0
+    for path in paths:
+        path = Path(path)
+        if not path.exists():
+            continue
+        records, file_skipped, file_duplicates = read_journal(path)
+        sources += 1
+        skipped += file_skipped
+        duplicates += file_duplicates
+        for digest, rec in records.items():
+            if digest in folded:
+                duplicates += 1
+            folded[digest] = rec          # last writer (later path) wins
+    if into is None:
+        return MergedJournal(
+            {digest: stats for digest, (_, stats) in folded.items()},
+            sources, skipped, duplicates,
+        )
+    jobs = _exec_jobs()
+    for digest, (spec_dict, stats) in folded.items():
+        if digest not in into._done:
+            into.record(jobs.JobSpec.from_dict(spec_dict), stats)
+    return into
 
 
 @contextmanager

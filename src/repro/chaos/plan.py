@@ -202,12 +202,14 @@ class FaultPlan:
 
     # -- cache corruption --------------------------------------------------
 
-    def corrupt_blob(self, path: os.PathLike | str, digest: str) -> str | None:
-        """Maybe corrupt the just-written blob at ``path``; returns the mode.
+    def corrupt_verdict(self, digest: str) -> str | None:
+        """Decide (and account) whether this job's cache blob is corrupted.
 
-        Corruption is applied in place (bit flip in the middle byte, hard
-        truncation, or replacement with well-formed foreign JSON) so the
-        cache's integrity checking — not the filesystem — has to catch it.
+        The decision half of :meth:`corrupt_blob`, split out so a
+        *coordinator* process can draw the verdict and ship the mode to a
+        remote worker as plain data (the worker applies it with
+        :func:`corrupt_file` after writing its blob).  Deterministic in
+        ``(seed, digest, ordinal)`` like every other verdict.
         """
         config = self.config
         ordinal = self._cache_faults.get(digest, 0)
@@ -217,9 +219,20 @@ class FaultPlan:
         if not rng.chance(config.cache_corrupt_rate):
             return None
         mode = CORRUPT_MODES[rng.next_below(len(CORRUPT_MODES))]
-        _corrupt_file(path, mode)
         self._cache_faults[digest] = ordinal + 1
         self._count("cache_corrupt")
+        return mode
+
+    def corrupt_blob(self, path: os.PathLike | str, digest: str) -> str | None:
+        """Maybe corrupt the just-written blob at ``path``; returns the mode.
+
+        Corruption is applied in place (bit flip in the middle byte, hard
+        truncation, or replacement with well-formed foreign JSON) so the
+        cache's integrity checking — not the filesystem — has to catch it.
+        """
+        mode = self.corrupt_verdict(digest)
+        if mode is not None:
+            corrupt_file(path, mode)
         return mode
 
     # -- reporting ---------------------------------------------------------
@@ -232,7 +245,7 @@ class FaultPlan:
                 + f", {self.recovered} job(s) recovered")
 
 
-def _corrupt_file(path: os.PathLike | str, mode: str) -> None:
+def corrupt_file(path: os.PathLike | str, mode: str) -> None:
     """Damage ``path`` in place according to ``mode``."""
     with open(path, "rb") as f:
         raw = f.read()

@@ -8,6 +8,8 @@ that two simulations with the same seed produce identical cycle counts.
 
 from __future__ import annotations
 
+import hashlib
+
 from repro.common.bits import WORD_MASK
 
 
@@ -66,3 +68,26 @@ class XorShift64:
         """
         seed = (self.next_u64() * 0x2545F4914F6CDD1D) & WORD_MASK
         return XorShift64(seed | 1)
+
+
+def deterministic_backoff(key: str, attempt: int, base: float,
+                          cap: float) -> float:
+    """Exponential backoff delay with deterministic jitter.
+
+    ``attempt`` counts retries from 1; the raw delay doubles per attempt
+    (``base * 2**(attempt-1)``) and is capped at ``cap`` *before* jitter.
+    Jitter scales the raw delay by a factor in ``[0.5, 1.0)`` drawn from
+    ``sha256(key # attempt)`` — a pure function of its inputs, so two
+    processes retrying the same key never thunder in lockstep yet every
+    rerun of the same scenario waits exactly as long.  Used by the
+    distributed coordinator's lease re-queue and the serve client's
+    transient-failure retries.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    if base < 0 or cap < 0:
+        raise ValueError(f"base and cap must be >= 0, got {base}, {cap}")
+    raw = min(cap, base * (2.0 ** (attempt - 1)))
+    digest = hashlib.sha256(f"{key}#{attempt}".encode("utf-8")).digest()
+    unit = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+    return raw * (0.5 + 0.5 * unit)

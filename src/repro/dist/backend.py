@@ -1,0 +1,209 @@
+"""The driver's side of a distributed sweep: client + scheduler backend.
+
+:class:`DistClient` extends :class:`repro.serve.ServeClient` with the
+``/v1/dist/*`` routes, inheriting its keep-alive connection, its bounded
+backoff retry policy for transient failures, and its verify-everything
+decoding discipline.
+
+:class:`DistBackend` plugs into :class:`repro.exec.Scheduler` through the
+:class:`~repro.exec.SchedulerBackend` seam: the scheduler still owns
+every policy decision (cache/journal pre-checks, completion checkpoints,
+progress), and this backend only changes *where* the pending cells
+execute.  It submits them to a coordinator, then polls ``collect`` —
+verifying each returned result document end to end — and feeds finished
+cells back through ``sched._complete`` exactly like the local paths do,
+so reports stay byte-identical to a serial run.
+
+Degradation is explicit and total-ordered: a job the coordinator
+terminally failed, or every job still outstanding once no live worker has
+been seen for ``degrade_after`` seconds, is cancelled remotely and
+recomputed through the ordinary :class:`~repro.exec.LocalPoolBackend` —
+with a warning on stderr and a ``dist/fallback_jobs`` count, never
+silently.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Sequence
+
+import repro.obs as obs
+from repro.exec.jobs import JobSpec
+from repro.exec.scheduler import LocalPoolBackend, SchedulerBackend
+from repro.serve import protocol
+from repro.serve.client import ServeClient
+
+
+class DistClient(ServeClient):
+    """A :class:`ServeClient` that also speaks the coordinator routes."""
+
+    # -- driver side -------------------------------------------------------
+
+    def dist_submit(self, specs: Sequence[JobSpec]) -> int:
+        """Enqueue cells on the coordinator; returns how many were new."""
+        doc = self._request("POST", protocol.ROUTE_DIST_SUBMIT,
+                            protocol.encode_sweep(list(specs)))
+        return int(doc.get("accepted", 0))
+
+    def dist_collect(self):
+        """Poll finished work: ``(verified (spec, stats) pairs,
+        (digest, error) failures, outstanding, live_workers)``."""
+        doc = self._request("POST", protocol.ROUTE_DIST_COLLECT,
+                            {"v": protocol.PROTOCOL_VERSION})
+        return protocol.decode_collect_response(doc)
+
+    def dist_cancel(self) -> list[str]:
+        doc = self._request("POST", protocol.ROUTE_DIST_CANCEL,
+                            {"v": protocol.PROTOCOL_VERSION})
+        cancelled = doc.get("cancelled")
+        return [d for d in cancelled if protocol.is_digest(d)] \
+            if isinstance(cancelled, list) else []
+
+    def dist_status(self) -> dict:
+        return self._request("GET", protocol.ROUTE_DIST_STATUS)
+
+    # -- worker side -------------------------------------------------------
+
+    def dist_lease(self, worker: str):
+        """Ask for work: ``(WorkOrder or None, drain flag)``."""
+        doc = self._request("POST", protocol.ROUTE_DIST_LEASE,
+                            protocol.encode_worker_doc(worker))
+        return protocol.decode_lease(doc)
+
+    def dist_heartbeat(self, worker: str, digest: str) -> bool:
+        doc = self._request("POST", protocol.ROUTE_DIST_HEARTBEAT,
+                            protocol.encode_heartbeat(worker, digest))
+        return bool(doc.get("held"))
+
+    def dist_complete(self, worker: str, spec: JobSpec, stats,
+                      metrics: dict | None = None) -> str:
+        doc = self._request(
+            "POST", protocol.ROUTE_DIST_COMPLETE,
+            protocol.encode_complete(worker, spec, stats, metrics),
+        )
+        return str(doc.get("outcome", "ok"))
+
+    def dist_fail(self, worker: str, digest: str, error: str) -> None:
+        self._request("POST", protocol.ROUTE_DIST_FAIL,
+                      protocol.encode_fail(worker, digest, error))
+
+
+class DistBackend(SchedulerBackend):
+    """Execute a scheduler's pending cells on distributed workers.
+
+    ``writes_cache`` is set: workers store results into the shared cache
+    root themselves, so the scheduler must not double-store (and the
+    driver's cache instance would be writing blobs that already exist).
+    ``supports_batch`` is not: the fused batched walk assumes local
+    execution; distributed cells go through the per-job boundary workers
+    own.
+    """
+
+    name = "dist"
+    writes_cache = True
+    supports_batch = False
+
+    def __init__(self, coordinator_url: str, poll_interval: float = 0.05,
+                 degrade_after: float = 15.0) -> None:
+        self.coordinator_url = coordinator_url
+        self.poll_interval = poll_interval
+        self.degrade_after = degrade_after
+        self._client: DistClient | None = None
+
+    @property
+    def client(self) -> DistClient:
+        if self._client is None:
+            self._client = DistClient(self.coordinator_url)
+        return self._client
+
+    def close(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+
+    # -- the backend contract ---------------------------------------------
+
+    def execute(self, sched, specs, pending, results) -> None:
+        client = self.client
+        by_digest: dict[str, list[int]] = {}
+        for i in pending:
+            by_digest.setdefault(specs[i].digest(), []).append(i)
+        client.dist_submit([specs[idxs[0]] for idxs in by_digest.values()])
+
+        done: set[str] = set()
+        fallback: list[int] = []
+        stall_since: float | None = None
+        while len(done) < len(by_digest):
+            fresh, failed, _outstanding, live = self._absorb(
+                client.dist_collect(), by_digest, done, fallback,
+                sched, specs, results,
+            )
+            if len(done) >= len(by_digest):
+                break
+            if live > 0 or fresh or failed:
+                stall_since = None
+            else:
+                now = time.monotonic()
+                if stall_since is None:
+                    stall_since = now
+                elif now - stall_since >= self.degrade_after:
+                    self._degrade(client, by_digest, done, fallback,
+                                  sched, specs, results)
+                    break
+            time.sleep(self.poll_interval)
+
+        if fallback:
+            self._run_fallback(sched, specs, sorted(fallback), results)
+
+    # -- pieces ------------------------------------------------------------
+
+    def _absorb(self, collected, by_digest, done, fallback,
+                sched, specs, results):
+        """Fold one collect response into the result slots."""
+        res, failed, outstanding, live = collected
+        for spec, stats in res:
+            digest = spec.digest()
+            if digest not in by_digest or digest in done:
+                continue
+            done.add(digest)
+            for i in by_digest[digest]:
+                results[i] = stats
+                sched._complete(i, specs, results)
+        for digest, error in failed:
+            if digest not in by_digest or digest in done:
+                continue
+            done.add(digest)
+            # The coordinator exhausted this job's distributed retry
+            # budget; recompute locally rather than losing the sweep.
+            print(f"[dist] job {digest[:12]}… failed remotely ({error}); "
+                  f"recomputing locally", file=sys.stderr)
+            fallback.extend(by_digest[digest])
+        return res, failed, outstanding, live
+
+    def _degrade(self, client, by_digest, done, fallback,
+                 sched, specs, results) -> None:
+        """All workers lost: cancel outstanding work, finish locally."""
+        outstanding = len(by_digest) - len(done)
+        print(f"[dist] no live workers for {self.degrade_after:.1f}s with "
+              f"{outstanding} job(s) outstanding — degrading to the local "
+              f"pool backend", file=sys.stderr)
+        obs.counter("dist/degraded").inc()
+        client.dist_cancel()
+        # Scoop results that completed between the last poll and the
+        # cancel, so nothing already computed is recomputed.
+        self._absorb(client.dist_collect(), by_digest, done, fallback,
+                     sched, specs, results)
+        for digest, idxs in by_digest.items():
+            if digest not in done:
+                done.add(digest)
+                fallback.extend(idxs)
+
+    def _run_fallback(self, sched, specs, fallback, results) -> None:
+        obs.counter("dist/fallback_jobs").inc(len(fallback))
+        LocalPoolBackend().execute(sched, specs, fallback, results)
+        # This backend declares writes_cache, so the scheduler will not
+        # store these locally computed cells; do it here.
+        if sched.cache is not None:
+            for i in fallback:
+                sched.cache.put(specs[i], results[i])

@@ -53,7 +53,9 @@ from repro.exec.progress import ProgressMeter
 from repro.exec.scheduler import (
     JobError,
     JobTimeoutError,
+    LocalPoolBackend,
     Scheduler,
+    SchedulerBackend,
     shard,
 )
 
@@ -69,6 +71,7 @@ def configure(
     chaos=None,
     journal=None,
     batch: bool = False,
+    backend=None,
 ) -> Scheduler:
     """Install (and return) the process-wide default scheduler.
 
@@ -78,11 +81,15 @@ def configure(
     ``None`` — the zero-overhead path.  ``batch=True`` runs batchable
     shared-front-end groups (BeBoP variant sweeps over one workload —
     :mod:`repro.batch`) in one trace pass each, bit-identically.
+    ``backend`` (a :class:`SchedulerBackend`) swaps where pending cells
+    execute — ``None`` keeps the historical local serial/pool path; a
+    :class:`repro.dist.DistBackend` runs them on distributed workers.
     """
     global _default_scheduler
     _default_scheduler = Scheduler(
         jobs=jobs, cache=cache, timeout=timeout, retries=retries,
         progress=progress, chaos=chaos, journal=journal, batch=batch,
+        backend=backend,
     )
     return _default_scheduler
 
@@ -124,9 +131,11 @@ __all__ = [
     "JobError",
     "JobSpec",
     "JobTimeoutError",
+    "LocalPoolBackend",
     "ProgressMeter",
     "ResultCache",
     "Scheduler",
+    "SchedulerBackend",
     "baseline_job",
     "bebop_job",
     "configure",

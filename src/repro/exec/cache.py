@@ -155,7 +155,16 @@ class ResultCache:
                     pass
 
     def _path(self, spec: JobSpec) -> Path:
-        digest = spec.digest()
+        return self.blob_path(spec.digest())
+
+    def blob_path(self, digest: str) -> Path:
+        """The sharded on-disk path a digest's blob lives (or would live) at.
+
+        Public because distributed workers need the location of a blob
+        they just stored — e.g. to apply a coordinator-shipped chaos
+        corruption verdict to the file — without re-deriving the sharding
+        rule.  The path is returned whether or not a blob exists there.
+        """
         return self.dir / digest[:SHARD_CHARS] / f"{digest}.json"
 
     def _blobs(self):
@@ -200,8 +209,7 @@ class ResultCache:
         address, not the spec.  Counts hits/misses exactly like
         :meth:`get`.
         """
-        return self._read_verified(self.dir / digest[:SHARD_CHARS]
-                                   / f"{digest}.json")
+        return self._read_verified(self.blob_path(digest))
 
     def _read_verified(self, path: Path) -> dict | None:
         """Read + integrity-check one blob; quarantine anything broken."""

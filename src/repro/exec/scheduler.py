@@ -82,6 +82,56 @@ def _interleave(indices: Sequence[int], nshards: int) -> list[int]:
     return [i for s in shard(indices, nshards) for i in s]
 
 
+class SchedulerBackend:
+    """Where a scheduler's pending (uncached) cells actually execute.
+
+    The :class:`Scheduler` keeps everything that is *policy* — cache and
+    journal pre-checks, batched-group fusion, progress, spans, the
+    journal-on-completion rule — and delegates raw execution of the
+    still-pending indices to a backend.  :class:`LocalPoolBackend` is the
+    historical in-process/ProcessPoolExecutor behaviour, bit for bit;
+    :class:`repro.dist.DistBackend` farms the same indices out to pull-model
+    worker processes behind a lease-based coordinator.
+
+    Contract for :meth:`execute`: fill ``results[i]`` for every ``i`` in
+    ``pending`` (or raise), calling ``sched._complete(i, specs, results)``
+    exactly once per index as it finishes.  A backend that already
+    persisted every result into the scheduler's cache sets
+    ``writes_cache`` so the scheduler does not double-store; one that can
+    honour the fused batched walk sets ``supports_batch``.
+    """
+
+    #: Short name, used in logs and error messages.
+    name = "abstract"
+    #: The backend stores results in ``sched.cache`` itself.
+    writes_cache = False
+    #: Shared-front-end batched groups may run before this backend.
+    supports_batch = False
+
+    def execute(self, sched: "Scheduler", specs: Sequence[JobSpec],
+                pending: list[int], results: list) -> None:
+        raise NotImplementedError
+
+
+class LocalPoolBackend(SchedulerBackend):
+    """The historical execution path: in-process serial or a local pool.
+
+    ``jobs <= 1`` (or a single pending cell with no timeout to enforce)
+    runs in-process with no pickling — the reference semantics; otherwise
+    a :class:`ProcessPoolExecutor` fans out with deterministic sharding,
+    per-job timeout + bounded retry, and ordered collection.
+    """
+
+    name = "local"
+    supports_batch = True
+
+    def execute(self, sched, specs, pending, results) -> None:
+        if sched.jobs <= 1 or (len(pending) == 1 and sched.timeout is None):
+            sched._run_serial(specs, pending, results)
+        else:
+            sched._run_parallel(specs, pending, results)
+
+
 class Scheduler:
     """Runs batches of cells serially or over a process pool.
 
@@ -121,6 +171,11 @@ class Scheduler:
         lever.  Ignored when chaos injection or the observability layer
         is active, or when a non-default ``job_fn`` is installed — those
         paths need the per-job execution boundary.
+    backend:
+        The :class:`SchedulerBackend` pending cells execute on.  ``None``
+        (the default) means :class:`LocalPoolBackend` — the behaviour this
+        class always had.  A :class:`repro.dist.DistBackend` executes the
+        same cells on remote pull-model workers instead.
     """
 
     def __init__(
@@ -134,6 +189,7 @@ class Scheduler:
         chaos=None,
         journal=None,
         batch: bool = False,
+        backend: SchedulerBackend | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -148,6 +204,7 @@ class Scheduler:
         self.chaos = chaos
         self.journal = journal
         self.batch = batch
+        self.backend = backend if backend is not None else LocalPoolBackend()
 
     # -- public API -------------------------------------------------------
 
@@ -194,13 +251,8 @@ class Scheduler:
                 pending = self._run_batched_groups(specs, pending, results)
                 batched = before - len(pending)
             if pending:
-                if self.jobs <= 1 or (
-                    len(pending) == 1 and self.timeout is None
-                ):
-                    self._run_serial(specs, pending, results)
-                else:
-                    self._run_parallel(specs, pending, results)
-                if self.cache is not None:
+                self.backend.execute(self, specs, pending, results)
+                if self.cache is not None and not self.backend.writes_cache:
                     for i in pending:
                         self.cache.put(specs[i], results[i])
 
@@ -221,10 +273,13 @@ class Scheduler:
 
         Chaos injection, per-job observability accounting and substituted
         ``job_fn``s all assume one execution per cell, so any of them
-        forces the per-job paths.
+        forces the per-job paths; a backend that does not declare
+        ``supports_batch`` (e.g. the distributed one, whose workers own
+        the per-job execution boundary) does the same.
         """
         return (
             self.batch
+            and self.backend.supports_batch
             and self.chaos is None
             and self.job_fn is run_job
             and not obs.enabled()

@@ -22,13 +22,22 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import time
 import urllib.parse
 from typing import Iterator, Sequence
 
+import repro.obs as obs
+from repro.common.rng import deterministic_backoff
 from repro.exec.jobs import JobSpec
 from repro.exec.progress import ProgressMeter
 from repro.pipeline import SimStats
 from repro.serve import protocol
+
+#: HTTP statuses the client treats as *transient* and retries with
+#: backoff.  Deliberately excludes 500 — the server answers 500 for a job
+#: that exhausted its compute retry budget, which re-requesting would just
+#: recompute and fail again.
+TRANSIENT_STATUSES = frozenset({502, 503, 504})
 
 
 class ServerError(RuntimeError):
@@ -47,9 +56,20 @@ class ServeClient:
     thread.  ``timeout`` bounds each socket operation — sweeps that
     compute cold cells server-side can legitimately take a while, so the
     default is generous.
+
+    Transient failures — connect/socket errors and the
+    :data:`TRANSIENT_STATUSES` responses — are retried up to ``retries``
+    times with exponential backoff (``backoff * 2**k``, capped at
+    ``backoff_cap``) under deterministic jitter, counted as
+    ``serve/client/retries``.  A *stale keep-alive* (the server closed the
+    idle connection between requests) keeps its historical fast path: the
+    first reconnect is immediate and uncounted, because retrying that is
+    part of speaking HTTP/1.1, not error handling.
     """
 
-    def __init__(self, base_url: str, timeout: float = 600.0) -> None:
+    def __init__(self, base_url: str, timeout: float = 600.0,
+                 retries: int = 3, backoff: float = 0.25,
+                 backoff_cap: float = 5.0) -> None:
         # "localhost:8123" would parse as scheme "localhost"; a schemeless
         # address is common enough on the CLI to normalise rather than
         # reject.
@@ -62,9 +82,15 @@ class ServeClient:
         host, _, port = netloc.partition(":")
         if not host:
             raise ValueError(f"no host in server url {base_url!r}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.host = host
         self.port = int(port) if port else 80
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.retried = 0        # backed-off retries over this client's life
         self._conn: http.client.HTTPConnection | None = None
 
     # -- plumbing ----------------------------------------------------------
@@ -87,33 +113,67 @@ class ServeClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def _backoff_sleep(self, path: str, attempt: int) -> None:
+        """Sleep one backed-off retry interval and account for it."""
+        self.retried += 1
+        obs.counter("serve/client/retries").inc()
+        time.sleep(deterministic_backoff(
+            f"{self.host}:{self.port}{path}", attempt,
+            self.backoff, self.backoff_cap,
+        ))
+
+    def _roundtrip(self, method: str, path: str,
+                   payload: bytes | None = None,
+                   headers: dict | None = None) -> tuple[int, bytes]:
+        """One request/response exchange with the full retry policy.
+
+        Returns ``(status, raw body)``.  Socket-level failures get one
+        immediate, uncounted reconnect (a keep-alive connection the server
+        has since closed surfaces as a broken pipe / bad status on the
+        *next* request — retrying that is part of speaking HTTP/1.1); any
+        further failure, and any :data:`TRANSIENT_STATUSES` answer, is
+        retried up to ``self.retries`` times behind
+        :func:`deterministic_backoff` sleeps.
+        """
+        attempt = 0              # backed-off retries used so far
+        reconnected = False      # the free keep-alive reconnect spent?
+        while True:
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload,
+                             headers=headers or {})
+                response = conn.getresponse()
+                raw = response.read()
+            except (http.client.HTTPException, ConnectionError,
+                    BrokenPipeError, socket.timeout, OSError):
+                self.close()
+                if not reconnected:
+                    reconnected = True
+                    continue
+                attempt += 1
+                if attempt > self.retries:
+                    raise
+                self._backoff_sleep(path, attempt)
+                continue
+            if response.status in TRANSIENT_STATUSES and attempt < self.retries:
+                attempt += 1
+                self._backoff_sleep(path, attempt)
+                continue
+            return response.status, raw
+
     def _request(self, method: str, path: str,
                  body: dict | None = None) -> dict:
         payload = None if body is None else json.dumps(body).encode("utf-8")
         headers = {"Content-Type": "application/json"} if payload else {}
-        # A keep-alive connection the server has since closed surfaces as
-        # a broken pipe / bad status on the *next* request; one reconnect
-        # retry is part of speaking HTTP/1.1, not error handling.
-        for attempt in (0, 1):
-            conn = self._connection()
-            try:
-                conn.request(method, path, body=payload, headers=headers)
-                response = conn.getresponse()
-                raw = response.read()
-                break
-            except (http.client.HTTPException, ConnectionError,
-                    BrokenPipeError, socket.timeout, OSError):
-                self.close()
-                if attempt:
-                    raise
+        status, raw = self._roundtrip(method, path, payload, headers)
         try:
             doc = json.loads(raw)
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise protocol.ProtocolError(
-                f"non-JSON response (HTTP {response.status})", status=502
+                f"non-JSON response (HTTP {status})", status=502
             ) from exc
-        if response.status != 200:
-            raise ServerError(response.status, protocol.error_message(doc))
+        if status != 200:
+            raise ServerError(status, protocol.error_message(doc))
         return doc
 
     # -- the service API ---------------------------------------------------
@@ -167,30 +227,19 @@ class ServeClient:
     def metrics_prometheus(self) -> str:
         """The metrics document as a Prometheus text exposition (v0.0.4).
 
-        Returns the decoded body verbatim; the same reconnect rule as
-        :meth:`_request` applies (JSON decoding does not — the body is
+        Returns the decoded body verbatim; the same retry rules as
+        :meth:`_request` apply (JSON decoding does not — the body is
         text, and a non-200 answer is still a JSON error document).
         """
         path = (f"{protocol.ROUTE_METRICS}"
                 f"?format={protocol.METRICS_FORMAT_PROMETHEUS}")
-        for attempt in (0, 1):
-            conn = self._connection()
-            try:
-                conn.request("GET", path)
-                response = conn.getresponse()
-                raw = response.read()
-                break
-            except (http.client.HTTPException, ConnectionError,
-                    BrokenPipeError, socket.timeout, OSError):
-                self.close()
-                if attempt:
-                    raise
-        if response.status != 200:
+        status, raw = self._roundtrip("GET", path)
+        if status != 200:
             try:
                 doc = json.loads(raw)
             except (json.JSONDecodeError, UnicodeDecodeError):
                 doc = {}
-            raise ServerError(response.status, protocol.error_message(doc))
+            raise ServerError(status, protocol.error_message(doc))
         return raw.decode("utf-8")
 
     def progress_events(self, limit: int | None = None,

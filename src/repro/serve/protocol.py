@@ -23,7 +23,9 @@ from __future__ import annotations
 
 import json
 import re
+from dataclasses import dataclass
 
+from repro.chaos.plan import CORRUPT_MODES, FaultAction, JOB_FAULT_KINDS
 from repro.exec.cache import CODE_VERSION, payload_checksum
 from repro.exec.jobs import JobSpec, stats_from_dict, stats_to_dict
 from repro.pipeline import SimStats
@@ -45,6 +47,18 @@ ROUTE_RESULT = "/v1/result/"         # GET  /v1/result/<digest> (cache only)
 ROUTE_PROGRESS = "/v1/progress"      # GET  server-sent events stream
 ROUTE_HEALTH = "/v1/healthz"         # GET  liveness + identity
 ROUTE_METRICS = "/v1/metrics"        # GET  obs registry + server counters
+
+# Distributed-sweep coordinator routes (:mod:`repro.dist`).  Workers PULL
+# work (lease), prove liveness (heartbeat) and push outcomes (complete /
+# fail); the driver pushes jobs (submit) and PULLs outcomes (collect).
+ROUTE_DIST_SUBMIT = "/v1/dist/submit"        # POST {v, specs} -> {accepted}
+ROUTE_DIST_LEASE = "/v1/dist/lease"          # POST {v, worker} -> {job|null}
+ROUTE_DIST_HEARTBEAT = "/v1/dist/heartbeat"  # POST {v, worker, digest}
+ROUTE_DIST_COMPLETE = "/v1/dist/complete"    # POST {v, worker, result, ...}
+ROUTE_DIST_FAIL = "/v1/dist/fail"            # POST {v, worker, digest, error}
+ROUTE_DIST_COLLECT = "/v1/dist/collect"      # POST {v} -> {results, failed}
+ROUTE_DIST_CANCEL = "/v1/dist/cancel"        # POST {v} -> {cancelled}
+ROUTE_DIST_STATUS = "/v1/dist/status"        # GET  queue + worker status
 
 #: ``?format=`` values the metrics route accepts.  JSON is (and stays)
 #: the default; Prometheus is the text exposition format v0.0.4.
@@ -213,6 +227,198 @@ def decode_sweep_results(doc: dict, expect: list[str]
         )
     return [decode_result(r, expect_digest=d)
             for r, d in zip(results, expect)]
+
+
+# -- distributed sweeps (repro.dist) ----------------------------------------
+#
+# Everything a lease-based coordinator and its pull-model workers exchange.
+# Result documents reuse encode_result / decode_result above — a worker's
+# completion carries the same checksummed payload a cache blob does, so the
+# coordinator (and, transitively, the driver collecting results) verifies
+# worker output exactly as it would verify its own disk.
+
+_WORKER_RE = re.compile(r"^[\w.:-]{1,120}$")
+
+
+def validate_worker(value: object) -> str:
+    """A worker id: short, printable, safe to embed in metric names."""
+    if not isinstance(value, str) or not _WORKER_RE.match(value):
+        raise ProtocolError(f"malformed worker id: {str(value)[:80]!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class WorkOrder:
+    """One leased job, as decoded by a worker.
+
+    ``fault`` and ``corrupt`` are chaos verdicts drawn by the
+    *coordinator* (so injection stays deterministic no matter which worker
+    steals the job) and shipped as plain data; the worker fires them with
+    :func:`repro.chaos.apply_fault` / :func:`repro.chaos.corrupt_file`.
+    """
+
+    spec: JobSpec
+    attempt: int
+    lease_seconds: float
+    fault: FaultAction | None = None
+    corrupt: str | None = None
+
+    @property
+    def digest(self) -> str:
+        return self.spec.digest()
+
+
+def encode_worker_doc(worker: str, **extra) -> dict:
+    """The ``{v, worker, ...}`` shape lease/heartbeat/fail requests share."""
+    return {"v": PROTOCOL_VERSION, "worker": worker, **extra}
+
+
+def decode_worker_doc(doc: dict, kind: str) -> str:
+    _check_version(doc, kind)
+    return validate_worker(doc.get("worker"))
+
+
+def encode_lease_grant(spec: JobSpec, attempt: int, lease_seconds: float,
+                       fault: FaultAction | None = None,
+                       corrupt: str | None = None) -> dict:
+    job = {
+        "digest": spec.digest(),
+        "spec": spec.as_dict(),
+        "attempt": attempt,
+        "lease_seconds": lease_seconds,
+        "fault": None if fault is None else {"kind": fault.kind,
+                                             "seconds": fault.seconds},
+        "corrupt": corrupt,
+    }
+    return {"v": PROTOCOL_VERSION, "job": job}
+
+
+def encode_lease_idle(drain: bool = False) -> dict:
+    """No work right now; ``drain`` tells the worker to exit for good."""
+    return {"v": PROTOCOL_VERSION, "job": None, "drain": drain}
+
+
+def decode_lease(doc: dict) -> tuple[WorkOrder | None, bool]:
+    """A lease response → ``(work order or None, drain flag)``."""
+    _check_version(doc, "lease")
+    job = doc.get("job")
+    if job is None:
+        return None, bool(doc.get("drain"))
+    if not isinstance(job, dict):
+        raise ProtocolError("lease: 'job' must be an object or null")
+    spec = _decode_spec(job.get("spec"))
+    if spec.digest() != validate_digest(job.get("digest")):
+        raise ProtocolError("lease: spec does not hash to its digest",
+                            status=502)
+    fault_doc = job.get("fault")
+    fault = None
+    if fault_doc is not None:
+        if (not isinstance(fault_doc, dict)
+                or fault_doc.get("kind") not in JOB_FAULT_KINDS):
+            raise ProtocolError("lease: malformed fault verdict")
+        fault = FaultAction(fault_doc["kind"],
+                            float(fault_doc.get("seconds", 0.0)))
+    corrupt = job.get("corrupt")
+    if corrupt is not None and corrupt not in CORRUPT_MODES:
+        raise ProtocolError(f"lease: unknown corrupt mode {corrupt!r}")
+    try:
+        attempt = int(job.get("attempt", 0))
+        lease_seconds = float(job.get("lease_seconds", 0.0))
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"lease: malformed job numbers ({exc})") from exc
+    return WorkOrder(spec, attempt, lease_seconds, fault, corrupt), False
+
+
+def encode_complete(worker: str, spec: JobSpec, stats: SimStats,
+                    metrics: dict | None = None) -> dict:
+    return {
+        "v": PROTOCOL_VERSION,
+        "worker": worker,
+        "result": encode_result(spec, stats, "computed"),
+        "metrics": metrics or {},
+    }
+
+
+def decode_complete(doc: dict) -> tuple[str, JobSpec, SimStats, dict, dict]:
+    """→ ``(worker, spec, stats, verified result document, metrics)``.
+
+    The embedded result document goes through the full
+    :func:`decode_result` verification chain, so a coordinator never
+    stores (and later re-serves) a completion a client would reject.
+    """
+    worker = decode_worker_doc(doc, "complete")
+    result = doc.get("result")
+    if not isinstance(result, dict):
+        raise ProtocolError("complete: missing 'result' document")
+    spec, stats, _source = decode_result(result)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ProtocolError("complete: 'metrics' must be an object")
+    return worker, spec, stats, result, metrics
+
+
+def encode_fail(worker: str, digest: str, error: str) -> dict:
+    return encode_worker_doc(worker, digest=digest, error=str(error)[:2000])
+
+
+def decode_fail(doc: dict) -> tuple[str, str, str]:
+    worker = decode_worker_doc(doc, "fail")
+    digest = validate_digest(doc.get("digest"))
+    error = doc.get("error")
+    if not isinstance(error, str):
+        raise ProtocolError("fail: 'error' must be a string")
+    return worker, digest, error
+
+
+def encode_heartbeat(worker: str, digest: str) -> dict:
+    return encode_worker_doc(worker, digest=digest)
+
+
+def decode_heartbeat(doc: dict) -> tuple[str, str]:
+    worker = decode_worker_doc(doc, "heartbeat")
+    return worker, validate_digest(doc.get("digest"))
+
+
+def encode_collect_response(results: list[dict], failed: list[dict],
+                            outstanding: int, live_workers: int) -> dict:
+    return {
+        "v": PROTOCOL_VERSION,
+        "results": results,
+        "failed": failed,
+        "outstanding": outstanding,
+        "live_workers": live_workers,
+    }
+
+
+def decode_collect_response(doc: dict
+                            ) -> tuple[list[tuple[JobSpec, SimStats]],
+                                       list[tuple[str, str]], int, int]:
+    """→ ``(verified (spec, stats) pairs, (digest, error) failures,
+    outstanding, live_workers)``."""
+    _check_version(doc, "collect")
+    raw_results = doc.get("results")
+    raw_failed = doc.get("failed")
+    if not isinstance(raw_results, list) or not isinstance(raw_failed, list):
+        raise ProtocolError("collect: 'results'/'failed' must be lists",
+                            status=502)
+    results = []
+    for item in raw_results:
+        spec, stats, _source = decode_result(item)
+        results.append((spec, stats))
+    failed = []
+    for item in raw_failed:
+        if not isinstance(item, dict):
+            raise ProtocolError("collect: malformed failure entry",
+                                status=502)
+        digest = validate_digest(item.get("digest"))
+        failed.append((digest, str(item.get("error", "unknown"))))
+    try:
+        outstanding = int(doc.get("outstanding", 0))
+        live_workers = int(doc.get("live_workers", 0))
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"collect: malformed counts ({exc})",
+                            status=502) from exc
+    return results, failed, outstanding, live_workers
 
 
 # -- errors -----------------------------------------------------------------

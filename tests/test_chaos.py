@@ -429,6 +429,71 @@ class TestRunJournal:
         assert RunJournal(path).loaded == 0
 
 
+class TestMergeJournals:
+    def _write(self, path, specs):
+        with RunJournal(path) as journal:
+            for spec in specs:
+                journal.record(spec, _fake_job(spec))
+
+    def test_fold_across_workers_last_writer_wins(self, tmp_path):
+        from repro.chaos import merge_journals
+        specs = _specs(4)
+        self._write(tmp_path / "w0.jsonl", specs[:3])   # overlap: specs[2]
+        self._write(tmp_path / "w1.jsonl", specs[2:])
+        merged = merge_journals([tmp_path / "w0.jsonl",
+                                 tmp_path / "w1.jsonl"])
+        assert len(merged) == 4
+        assert merged.sources == 2
+        assert merged.duplicates == 1
+        for spec in specs:
+            assert spec in merged
+            assert merged.get(spec) == _fake_job(spec)
+
+    def test_merged_view_is_read_only(self, tmp_path):
+        from repro.chaos import merge_journals
+        spec = _specs(1)[0]
+        self._write(tmp_path / "w0.jsonl", [spec])
+        merged = merge_journals([tmp_path / "w0.jsonl"])
+        with pytest.raises(TypeError):
+            merged.record(spec, _fake_job(spec))
+
+    def test_torn_and_foreign_lines_skipped_per_journal(self, tmp_path):
+        from repro.chaos import merge_journals
+        specs = _specs(2)
+        self._write(tmp_path / "w0.jsonl", specs)
+        with open(tmp_path / "w0.jsonl", "a") as f:
+            f.write('{"schema": 1, "version": "2", "digest": "dead')  # torn
+        with RunJournal(tmp_path / "w1.jsonl",
+                        version="0-other-build") as foreign:
+            foreign.record(_specs(3)[2], _fake_job(_specs(3)[2]))
+        merged = merge_journals([tmp_path / "w0.jsonl",
+                                 tmp_path / "w1.jsonl"])
+        assert len(merged) == 2           # foreign-build record not trusted
+        assert merged.skipped_lines == 2  # one torn + one foreign
+
+    def test_missing_paths_skipped_into_appends_new_digests(self, tmp_path):
+        """merge_journals(paths, into=driver) consolidates worker journals
+        into the driver's resume journal — exactly the --resume flow."""
+        from repro.chaos import merge_journals
+        specs = _specs(4)
+        driver_path = tmp_path / "driver.jsonl"
+        self._write(driver_path, specs[:2])
+        self._write(tmp_path / "w0.jsonl", specs[1:])   # overlap: specs[1]
+        driver = RunJournal(driver_path)
+        out = merge_journals(
+            [tmp_path / "w0.jsonl", tmp_path / "never-spawned.jsonl"],
+            into=driver,
+        )
+        assert out is driver
+        assert len(driver) == 4
+        driver.close()
+        # the consolidated journal alone resumes the full sweep
+        again = RunJournal(driver_path)
+        assert again.loaded == 4
+        for spec in specs:
+            assert again.get(spec) == _fake_job(spec)
+
+
 # ---------------------------------------------------------------------------
 # Scheduler + journal: interrupted sweeps resume where they stopped
 # ---------------------------------------------------------------------------

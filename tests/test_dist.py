@@ -1,0 +1,601 @@
+"""Tests for repro.dist: lease queue, wire protocol, workers, fault drills.
+
+The :class:`LeaseQueue` unit tests drive a fake clock, so lease expiry,
+backoff gating and retry exhaustion are asserted without sleeping.  The
+integration tests run a real coordinator (``CoordinatorThread``) with
+in-process worker threads on a cheap fake ``job_fn``; the heavyweight
+drills — SIGKILLing a real worker subprocess mid-job, degrading to the
+local pool when every worker is gone — use tiny real simulations and pin
+the headline property end to end: results bit-identical to a serial run.
+"""
+
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.exec
+import repro.obs as obs
+from repro.chaos import ChaosConfig, FaultPlan
+from repro.common.rng import deterministic_backoff
+from repro.dist import (
+    CoordinatorThread,
+    DistBackend,
+    DistClient,
+    DistWorker,
+    LeaseQueue,
+    WorkerPool,
+)
+from repro.dist.coordinator import DONE, FAILED, LEASED, QUEUED
+from repro.exec import JobSpec, ResultCache, Scheduler, baseline_job
+from repro.pipeline import SimStats
+from repro.serve import ProtocolError, protocol
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    repro.exec.reset()
+    obs.disable()
+    yield
+    repro.exec.reset()
+    obs.disable()
+
+
+def _fake_job(spec: JobSpec) -> SimStats:
+    return SimStats(workload=spec.workload, cycles=spec.uops,
+                    insts=2 * spec.uops)
+
+
+def _specs(n: int) -> list[JobSpec]:
+    return [baseline_job("swim", 1_000 + i, 0) for i in range(n)]
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _queue(**kwargs) -> tuple[LeaseQueue, FakeClock]:
+    clock = FakeClock()
+    defaults = dict(clock=clock, lease_seconds=10.0, retries=2,
+                    backoff_base=0.5, backoff_cap=4.0)
+    defaults.update(kwargs)
+    return LeaseQueue(**defaults), clock
+
+
+def _grant_digest(grant: dict) -> str:
+    return grant["job"]["digest"]
+
+
+# ---------------------------------------------------------------------------
+# Deterministic backoff.
+# ---------------------------------------------------------------------------
+
+class TestDeterministicBackoff:
+    def test_reproducible(self):
+        assert (deterministic_backoff("k", 3, 0.5, 30.0)
+                == deterministic_backoff("k", 3, 0.5, 30.0))
+
+    def test_jitter_varies_by_key_and_attempt(self):
+        values = {deterministic_backoff(key, attempt, 0.5, 300.0)
+                  for key in ("a", "b", "c") for attempt in (1, 2, 3)}
+        assert len(values) > 5  # jittered, not a shared ladder
+
+    def test_bounded_by_jittered_exponential(self):
+        for attempt in range(1, 12):
+            value = deterministic_backoff("job", attempt, 0.5, 8.0)
+            assert 0 < value <= 8.0
+            assert value <= 0.5 * 2 ** (attempt - 1)
+            # jitter factor is drawn from [0.5, 1.0)
+            assert value >= min(8.0, 0.5 * 2 ** (attempt - 1)) * 0.5
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError):
+            deterministic_backoff("job", 0, 0.5, 8.0)
+
+
+# ---------------------------------------------------------------------------
+# Protocol documents.
+# ---------------------------------------------------------------------------
+
+class TestDistProtocol:
+    SPEC = baseline_job("swim", 1_000, 0)
+
+    def test_worker_id_validation(self):
+        assert protocol.validate_worker("w0r1") == "w0r1"
+        for bad in ("", "a b", "x" * 121, None, 7):
+            with pytest.raises(ProtocolError):
+                protocol.validate_worker(bad)
+
+    def test_lease_grant_roundtrip(self):
+        from repro.chaos import FaultAction
+        grant = protocol.encode_lease_grant(
+            self.SPEC, 2, 7.5, fault=FaultAction("hang", seconds=0.3),
+            corrupt="truncate",
+        )
+        order, drain = protocol.decode_lease(grant)
+        assert not drain
+        assert order.spec == self.SPEC
+        assert order.attempt == 2
+        assert order.lease_seconds == 7.5
+        assert order.fault.kind == "hang"
+        assert order.fault.seconds == 0.3
+        assert order.corrupt == "truncate"
+        assert order.digest == self.SPEC.digest()
+
+    def test_lease_idle_and_drain(self):
+        assert protocol.decode_lease(protocol.encode_lease_idle()) \
+            == (None, False)
+        assert protocol.decode_lease(protocol.encode_lease_idle(drain=True)) \
+            == (None, True)
+
+    def test_lease_tampered_digest_rejected(self):
+        grant = protocol.encode_lease_grant(self.SPEC, 0, 5.0)
+        grant["job"]["digest"] = "0" * 64
+        with pytest.raises(ProtocolError):
+            protocol.decode_lease(grant)
+
+    def test_complete_roundtrip_verifies(self):
+        stats = _fake_job(self.SPEC)
+        doc = protocol.encode_complete("w0", self.SPEC, stats,
+                                       {"exec/job/count": 1})
+        worker, spec, decoded, result_doc, metrics = \
+            protocol.decode_complete(doc)
+        assert (worker, spec, decoded) == ("w0", self.SPEC, stats)
+        assert metrics == {"exec/job/count": 1}
+        # the embedded result document re-verifies standalone
+        respec, restats, _ = protocol.decode_result(result_doc)
+        assert (respec, restats) == (self.SPEC, stats)
+
+    def test_complete_tampered_stats_rejected(self):
+        doc = protocol.encode_complete("w0", self.SPEC, _fake_job(self.SPEC))
+        doc["result"]["stats"]["cycles"] += 1
+        with pytest.raises(ProtocolError):
+            protocol.decode_complete(doc)
+
+    def test_fail_and_heartbeat_roundtrip(self):
+        digest = self.SPEC.digest()
+        assert protocol.decode_fail(
+            protocol.encode_fail("w1", digest, "boom")
+        ) == ("w1", digest, "boom")
+        assert protocol.decode_heartbeat(
+            protocol.encode_heartbeat("w1", digest)
+        ) == ("w1", digest)
+
+    def test_collect_roundtrip(self):
+        stats = _fake_job(self.SPEC)
+        doc = protocol.encode_collect_response(
+            [protocol.encode_result(self.SPEC, stats, "computed")],
+            [{"digest": self.SPEC.digest(), "error": "gone"}], 3, 2,
+        )
+        results, failed, outstanding, live = \
+            protocol.decode_collect_response(doc)
+        assert results == [(self.SPEC, stats)]
+        assert failed == [(self.SPEC.digest(), "gone")]
+        assert (outstanding, live) == (3, 2)
+
+
+# ---------------------------------------------------------------------------
+# The lease queue, on a fake clock.
+# ---------------------------------------------------------------------------
+
+class TestLeaseQueue:
+    def test_submit_deduplicates_digests(self):
+        queue, _ = _queue()
+        specs = _specs(3)
+        assert queue.submit(specs) == 3
+        assert queue.submit(specs) == 0
+        assert queue.counters["jobs"] == 3
+
+    def test_lease_oldest_first_then_idle(self):
+        queue, _ = _queue()
+        specs = _specs(2)
+        queue.submit(specs)
+        assert _grant_digest(queue.lease("w0")) == specs[0].digest()
+        assert _grant_digest(queue.lease("w0")) == specs[1].digest()
+        assert queue.lease("w0") is None
+
+    def test_complete_is_idempotent_first_wins(self):
+        queue, _ = _queue()
+        spec = _specs(1)[0]
+        queue.submit([spec])
+        queue.lease("w0")
+        doc = protocol.encode_result(spec, _fake_job(spec), "computed")
+        assert queue.complete("w0", spec.digest(), doc) == "ok"
+        assert queue.complete("w1", spec.digest(), doc) == "stale"
+        results, failed, outstanding, _ = queue.collect()
+        assert len(results) == 1 and not failed and outstanding == 0
+        assert queue.collect()[0] == []   # drained exactly once
+        assert queue.counters["stale_completions"] == 1
+
+    def test_heartbeat_extends_lease(self):
+        queue, clock = _queue(lease_seconds=10.0)
+        spec = _specs(1)[0]
+        queue.submit([spec])
+        queue.lease("w0")
+        clock.advance(8.0)
+        assert queue.heartbeat("w0", spec.digest())
+        clock.advance(8.0)          # 16s since lease, 8s since heartbeat
+        assert queue.reap() == 0
+        assert queue.status()["jobs"][LEASED] == 1
+
+    def test_heartbeat_refused_for_non_holder(self):
+        queue, _ = _queue()
+        spec = _specs(1)[0]
+        queue.submit([spec])
+        queue.lease("w0")
+        assert not queue.heartbeat("w1", spec.digest())
+        assert not queue.heartbeat("w0", "0" * 64)
+
+    def test_expired_lease_requeues_with_backoff(self):
+        queue, clock = _queue(lease_seconds=10.0)
+        spec = _specs(1)[0]
+        queue.submit([spec])
+        queue.lease("w0")
+        clock.advance(10.1)
+        assert queue.reap() == 1
+        assert queue.counters["lease_expired"] == 1
+        assert queue.counters["requeues"] == 1
+        # backoff gates the re-lease: not immediately available...
+        assert queue.lease("w1") is None
+        # ...but available once the deterministic backoff has passed
+        clock.advance(deterministic_backoff(spec.digest(), 1, 0.5, 4.0))
+        grant = queue.lease("w1")
+        assert _grant_digest(grant) == spec.digest()
+        assert grant["job"]["attempt"] == 1
+        # w1 took over w0's job: that's a steal, attributed to w1
+        assert queue.counters["steals"] == 1
+        assert queue.worker_counters["w1"]["steals"] == 1
+
+    def test_retry_budget_exhaustion_is_terminal(self):
+        queue, clock = _queue(lease_seconds=1.0, retries=2,
+                              backoff_base=0.1, backoff_cap=0.2)
+        spec = _specs(1)[0]
+        queue.submit([spec])
+        for _ in range(3):          # initial + 2 retries
+            clock.advance(5.0)      # clear any backoff gate
+            assert queue.lease("w0") is not None
+            clock.advance(1.1)
+            queue.reap()
+        clock.advance(5.0)
+        assert queue.lease("w0") is None
+        assert queue.status()["jobs"][FAILED] == 1
+        _, failed, outstanding, _ = queue.collect()
+        assert len(failed) == 1 and "lease expired" in failed[0]["error"]
+        assert outstanding == 0
+
+    def test_worker_fail_report_charges_attempt(self):
+        queue, clock = _queue(retries=1, backoff_base=0.1, backoff_cap=0.1)
+        spec = _specs(1)[0]
+        queue.submit([spec])
+        queue.lease("w0")
+        queue.fail("w0", spec.digest(), "boom 1")
+        clock.advance(1.0)
+        queue.lease("w0")
+        queue.fail("w0", spec.digest(), "boom 2")
+        assert queue.status()["jobs"][FAILED] == 1
+        assert queue.collect()[1][0]["error"] == "boom 2"
+
+    def test_late_completion_after_expiry_still_counts(self):
+        """The first finished computation wins even if its lease expired."""
+        queue, clock = _queue(lease_seconds=1.0, backoff_base=10.0,
+                              backoff_cap=10.0)
+        spec = _specs(1)[0]
+        queue.submit([spec])
+        queue.lease("w0")
+        clock.advance(1.5)
+        queue.reap()                # w0's lease expired, job back in queue
+        doc = protocol.encode_result(spec, _fake_job(spec), "computed")
+        assert queue.complete("w0", spec.digest(), doc) == "ok"
+        assert queue.status()["jobs"][DONE] == 1
+        assert queue.lease("w1") is None   # nothing left to steal
+
+    def test_cancel_terminates_unfinished_jobs(self):
+        queue, _ = _queue()
+        specs = _specs(3)
+        queue.submit(specs)
+        queue.lease("w0")
+        cancelled = queue.cancel()
+        assert sorted(cancelled) == sorted(s.digest() for s in specs)
+        status = queue.status()
+        assert status["jobs"][FAILED] == 3
+        assert status["leases"] == []
+        # cancelled jobs are not reported as fresh failures
+        assert queue.collect()[1] == []
+
+    def test_live_workers_expire_with_ttl(self):
+        queue, clock = _queue(lease_seconds=1.0, worker_ttl=2.0)
+        queue.touch_worker("w0")
+        queue.touch_worker("w1")
+        assert queue.live_workers() == 2
+        clock.advance(2.5)
+        queue.touch_worker("w1")
+        assert queue.live_workers() == 1
+        queue.reap()
+        queue.touch_worker("w1")
+        assert queue.live_workers() == 1
+
+    def test_chaos_verdicts_independent_of_worker(self):
+        """Injection is a function of (seed, digest, ordinal) — whoever
+        steals the job gets the same verdict."""
+        config = ChaosConfig(crash_rate=0.5, cache_corrupt_rate=0.5, seed=11)
+        specs = _specs(6)
+        grants = {}
+        for worker_order in (("w0", "w1"), ("w1", "w0")):
+            queue, _ = _queue(chaos=FaultPlan(config))
+            queue.submit(specs)
+            seen = {}
+            worker = iter(worker_order * len(specs))
+            while True:
+                grant = queue.lease(next(worker))
+                if grant is None:
+                    break
+                job = grant["job"]
+                seen[job["digest"]] = (job["fault"], job["corrupt"])
+            grants[worker_order] = seen
+        first, second = grants.values()
+        assert first == second
+        assert any(f or c for f, c in first.values())  # the plan does fire
+
+
+# ---------------------------------------------------------------------------
+# Coordinator + in-process workers (fake jobs: pure plumbing).
+# ---------------------------------------------------------------------------
+
+def _run_workers(url: str, n: int, cache: ResultCache, **kwargs):
+    """Start ``n`` in-process workers; returns (workers, threads)."""
+    workers, threads = [], []
+    for i in range(n):
+        worker = DistWorker(url, f"w{i}", cache=cache, job_fn=_fake_job,
+                            in_process=True, poll_interval=0.01,
+                            max_idle=kwargs.pop("max_idle", None), **kwargs)
+        thread = threading.Thread(target=worker.run, daemon=True)
+        thread.start()
+        workers.append(worker)
+        threads.append(thread)
+    return workers, threads
+
+
+def _stop_workers(workers, threads):
+    for worker in workers:
+        worker.stop()
+    for thread in threads:
+        thread.join(timeout=20)
+        assert not thread.is_alive()
+
+
+class TestDistIntegration:
+    def test_sweep_matches_serial_and_leaks_no_leases(self, tmp_path):
+        specs = _specs(8)
+        expected = [_fake_job(s) for s in specs]
+        cache = ResultCache(root=tmp_path / "cache")
+        with CoordinatorThread(lease_seconds=5.0) as coord:
+            workers, threads = _run_workers(coord.url, 2, cache)
+            sched = Scheduler(cache=cache,
+                              backend=DistBackend(coord.url,
+                                                  poll_interval=0.01))
+            assert sched.run(specs) == expected
+            status = DistClient(coord.url).dist_status()
+            _stop_workers(workers, threads)
+        assert status["jobs"] == {QUEUED: 0, LEASED: 0,
+                                  DONE: len(specs), FAILED: 0}
+        assert status["leases"] == []
+        assert coord.queue.counters["completions"] == len(specs)
+
+    def test_duplicate_specs_computed_once(self, tmp_path):
+        spec = _specs(1)[0]
+        specs = [spec, spec, spec]
+        cache = ResultCache(root=tmp_path / "cache")
+        with CoordinatorThread(lease_seconds=5.0) as coord:
+            workers, threads = _run_workers(coord.url, 1, cache)
+            sched = Scheduler(cache=cache,
+                              backend=DistBackend(coord.url,
+                                                  poll_interval=0.01))
+            assert sched.run(specs) == [_fake_job(spec)] * 3
+            _stop_workers(workers, threads)
+        assert coord.queue.counters["jobs"] == 1
+        assert coord.queue.counters["completions"] == 1
+
+    def test_workers_write_journals_mergeable_on_resume(self, tmp_path):
+        from repro.chaos import RunJournal, merge_journals
+        specs = _specs(4)
+        cache = ResultCache(root=tmp_path / "cache")
+        journals = [RunJournal(tmp_path / f"w{i}.jsonl") for i in range(2)]
+        with CoordinatorThread(lease_seconds=5.0) as coord:
+            workers, threads = [], []
+            for i, journal in enumerate(journals):
+                worker = DistWorker(coord.url, f"w{i}", cache=cache,
+                                    journal=journal, job_fn=_fake_job,
+                                    in_process=True, poll_interval=0.01)
+                thread = threading.Thread(target=worker.run, daemon=True)
+                thread.start()
+                workers.append(worker)
+                threads.append(thread)
+            sched = Scheduler(cache=cache,
+                              backend=DistBackend(coord.url,
+                                                  poll_interval=0.01))
+            results = sched.run(specs)
+            _stop_workers(workers, threads)
+        for journal in journals:
+            journal.close()
+        merged = merge_journals([tmp_path / "w0.jsonl",
+                                 tmp_path / "w1.jsonl"])
+        assert len(merged) == len(specs)
+        assert [merged.get(s) for s in specs] == results
+
+    def test_terminal_remote_failure_recomputed_locally(self, tmp_path):
+        """A job whose distributed retries are exhausted falls back to the
+        local pool — the sweep still completes with correct results."""
+        def _always_raises(spec):
+            raise RuntimeError("injected worker bug")
+
+        specs = [baseline_job("swim", 1_000, 0)]
+        expected = Scheduler().run(specs)
+        cache = ResultCache(root=tmp_path / "cache")
+        with CoordinatorThread(lease_seconds=5.0, retries=1,
+                               backoff_base=0.01, backoff_cap=0.02) as coord:
+            workers, threads = [], []
+            worker = DistWorker(coord.url, "w0", cache=cache,
+                                job_fn=_always_raises, in_process=True,
+                                poll_interval=0.01)
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            sched = Scheduler(cache=cache,
+                              backend=DistBackend(coord.url,
+                                                  poll_interval=0.01))
+            assert sched.run(specs) == expected
+            worker.stop()
+            thread.join(timeout=20)
+        assert coord.queue.counters["failures"] == 1
+        # the locally recomputed result was stored for everyone
+        assert cache.get(specs[0]) == expected[0]
+
+    def test_degrades_to_local_pool_when_no_workers_exist(self, tmp_path):
+        specs = _specs(3)
+        expected = Scheduler().run(specs)
+        cache = ResultCache(root=tmp_path / "cache")
+        with CoordinatorThread(lease_seconds=5.0) as coord:
+            sched = Scheduler(cache=cache,
+                              backend=DistBackend(coord.url,
+                                                  poll_interval=0.02,
+                                                  degrade_after=0.3))
+            assert sched.run(specs) == expected
+        assert coord.queue.counters["cancelled"] == len(specs)
+        assert all(cache.get(s) == e for s, e in zip(specs, expected))
+
+    def test_corrupt_verdict_quarantined_and_repaired(self, tmp_path):
+        """A coordinator-shipped corruption verdict damages the worker's
+        stored blob; the worker proves repair: quarantine + clean re-put."""
+        specs = _specs(3)
+        expected = [_fake_job(s) for s in specs]
+        chaos = FaultPlan(ChaosConfig(cache_corrupt_rate=1.0, seed=5))
+        cache = ResultCache(root=tmp_path / "cache")
+        with CoordinatorThread(lease_seconds=5.0, chaos=chaos) as coord:
+            workers, threads = _run_workers(coord.url, 1, cache)
+            sched = Scheduler(cache=cache,
+                              backend=DistBackend(coord.url,
+                                                  poll_interval=0.01))
+            assert sched.run(specs) == expected
+            _stop_workers(workers, threads)
+        assert chaos.injected.get("cache_corrupt") == len(specs)
+        quarantined = list(cache.quarantine_dir.glob("*.json"))
+        assert len(quarantined) == len(specs)
+        # no reader is ever served corrupt bytes
+        fresh = ResultCache(root=tmp_path / "cache")
+        assert [fresh.get(s) for s in specs] == expected
+
+    def test_in_process_crash_verdict_downgraded_and_recovered(self,
+                                                               tmp_path):
+        specs = _specs(4)
+        expected = [_fake_job(s) for s in specs]
+        chaos = FaultPlan(ChaosConfig(crash_rate=0.7, seed=3,
+                                      max_faults_per_job=2))
+        cache = ResultCache(root=tmp_path / "cache")
+        with CoordinatorThread(lease_seconds=5.0, retries=4,
+                               backoff_base=0.01, backoff_cap=0.05,
+                               chaos=chaos) as coord:
+            workers, threads = _run_workers(coord.url, 2, cache)
+            sched = Scheduler(cache=cache,
+                              backend=DistBackend(coord.url,
+                                                  poll_interval=0.01))
+            assert sched.run(specs) == expected
+            _stop_workers(workers, threads)
+        assert chaos.injected.get("crash", 0) > 0
+        assert chaos.recovered > 0
+        assert coord.queue.status()["jobs"][DONE] == len(specs)
+
+
+# ---------------------------------------------------------------------------
+# The hard drills: real subprocess workers, real (tiny) simulations.
+# ---------------------------------------------------------------------------
+
+def _kill_when_leased(url: str, pool: WorkerPool, idx: int, worker: str,
+                      outcome: list, timeout: float = 60.0) -> None:
+    """SIGKILL pool worker ``idx`` the moment the coordinator shows
+    ``worker`` holding a lease — deterministic mid-job node loss
+    regardless of how long subprocess startup takes."""
+    client = DistClient(url)
+    deadline = time.monotonic() + timeout
+    try:
+        while time.monotonic() < deadline:
+            leases = client.dist_status().get("leases", [])
+            if any(lease.get("worker") == worker for lease in leases):
+                pool.kill(idx)
+                outcome.append(True)
+                return
+            time.sleep(0.02)
+        outcome.append(False)
+    except Exception:
+        outcome.append(False)     # coordinator shut down under us
+    finally:
+        client.close()
+
+
+class TestWorkerLossDrills:
+    def test_sigkilled_worker_job_releases_and_finishes_elsewhere(
+            self, tmp_path):
+        """SIGKILL one of two real workers mid-job: its lease expires, the
+        job is re-leased to the survivor, and the sweep's results are
+        bit-identical to a serial run."""
+        specs = [baseline_job(w, uops=2_000, warmup=500)
+                 for w in ("swim", "gobmk", "mcf", "bzip2")]
+        serial = Scheduler().run(specs)
+        cache = ResultCache(root=tmp_path / "cache")
+        killed: list = []
+        with CoordinatorThread(lease_seconds=1.0, retries=4,
+                               backoff_base=0.05, backoff_cap=0.2) as coord:
+            with WorkerPool(coord.url, 2, cache_root=str(cache.root),
+                            respawn=False, slowdown=0.4,
+                            poll_interval=0.01) as pool:
+                killer = threading.Thread(
+                    target=_kill_when_leased,
+                    args=(coord.url, pool, 0, "w0", killed), daemon=True,
+                )
+                killer.start()
+                sched = Scheduler(cache=cache,
+                                  backend=DistBackend(coord.url,
+                                                      poll_interval=0.02))
+                dist = sched.run(specs)
+                killer.join(timeout=20)
+                status = DistClient(coord.url).dist_status()
+        assert killed == [True]
+        assert dist == serial
+        assert status["jobs"][DONE] == len(specs)
+        assert status["leases"] == []          # zero leaked lease records
+        counters = coord.queue.counters
+        assert counters.get("lease_expired", 0) >= 1
+        assert counters.get("requeues", 0) >= 1
+
+    def test_losing_every_worker_degrades_to_local(self, tmp_path):
+        specs = [baseline_job("swim", 2_000, 500),
+                 baseline_job("gobmk", 2_000, 500)]
+        serial = Scheduler().run(specs)
+        cache = ResultCache(root=tmp_path / "cache")
+        killed: list = []
+        with CoordinatorThread(lease_seconds=1.0, retries=8,
+                               backoff_base=0.05, backoff_cap=0.2) as coord:
+            with WorkerPool(coord.url, 1, cache_root=str(cache.root),
+                            respawn=False, slowdown=2.0,
+                            poll_interval=0.01) as pool:
+                killer = threading.Thread(
+                    target=_kill_when_leased,
+                    args=(coord.url, pool, 0, "w0", killed), daemon=True,
+                )
+                killer.start()
+                sched = Scheduler(
+                    cache=cache,
+                    backend=DistBackend(coord.url, poll_interval=0.05,
+                                        degrade_after=1.0),
+                )
+                dist = sched.run(specs)
+                killer.join(timeout=20)
+        assert killed == [True]
+        assert dist == serial
+        assert all(cache.get(s) == r for s, r in zip(specs, serial))

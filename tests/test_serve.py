@@ -9,10 +9,13 @@ replays the committed golden-stats configurations through a server and
 compares byte-for-byte against ``tests/data/golden_stats.json``.
 """
 
+import contextlib
 import dataclasses
 import http.client
+import http.server
 import json
 import re
+import socket
 import threading
 import time
 from pathlib import Path
@@ -20,6 +23,7 @@ from pathlib import Path
 import pytest
 
 import repro.exec
+import repro.obs as obs
 from repro.eval import experiments
 from repro.eval.runner import RunSpec
 from repro.exec import (
@@ -344,6 +348,115 @@ class TestServer:
             client.submit(spec)
             client._conn.close()              # stale socket, client keeps it
             assert client.submit_with_source(spec)[1] == "cache"
+
+
+# ---------------------------------------------------------------------------
+# Client retry policy, against a scripted stub server.
+# ---------------------------------------------------------------------------
+
+class _ScriptedHandler(http.server.BaseHTTPRequestHandler):
+    """Answers each request with the next status from ``statuses``
+    (then 200s forever).  Shared mutable class state — tests run one
+    stub at a time."""
+
+    statuses: list = []
+    hits = 0
+
+    def do_GET(self):
+        type(self).hits += 1
+        status = self.statuses.pop(0) if self.statuses else 200
+        body = json.dumps(
+            {"ok": True} if status == 200 else {"error": f"scripted {status}"}
+        ).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):             # silence stderr
+        pass
+
+
+@contextlib.contextmanager
+def _scripted_server(statuses):
+    _ScriptedHandler.statuses = list(statuses)
+    _ScriptedHandler.hits = 0
+    httpd = http.server.ThreadingHTTPServer(("127.0.0.1", 0),
+                                            _ScriptedHandler)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{httpd.server_address[1]}"
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(timeout=10)
+
+
+class TestClientRetries:
+    def test_transient_statuses_retried_to_success(self):
+        obs.enable()
+        try:
+            before = obs.registry().snapshot().get("serve/client/retries", 0)
+            with _scripted_server([503, 502]) as url:
+                client = ServeClient(url, retries=3, backoff=0.01,
+                                     backoff_cap=0.02)
+                assert client.health() == {"ok": True}
+                client.close()
+            assert client.retried == 2
+            after = obs.registry().snapshot()["serve/client/retries"]
+            assert after - before == 2
+        finally:
+            obs.disable()
+
+    def test_500_is_not_transient(self):
+        """500 marks a job that exhausted its compute retries server-side;
+        re-requesting would recompute and fail again — raise immediately."""
+        with _scripted_server([500]) as url:
+            client = ServeClient(url, retries=3, backoff=0.01)
+            with pytest.raises(ServerError) as err:
+                client.health()
+            client.close()
+        assert err.value.status == 500
+        assert client.retried == 0
+        assert _ScriptedHandler.hits == 1
+
+    def test_persistent_transient_status_surfaces_after_budget(self):
+        with _scripted_server([503] * 10) as url:
+            client = ServeClient(url, retries=2, backoff=0.01,
+                                 backoff_cap=0.02)
+            with pytest.raises(ServerError) as err:
+                client.health()
+            client.close()
+        assert err.value.status == 503
+        assert client.retried == 2
+        assert _ScriptedHandler.hits == 3     # initial + 2 retries
+
+    def test_connect_failure_retried_then_raised(self):
+        # grab a port nothing listens on
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = ServeClient(f"http://127.0.0.1:{port}", retries=1,
+                             backoff=0.01, backoff_cap=0.02)
+        with pytest.raises(OSError):
+            client.health()
+        # one free keep-alive reconnect, then the counted retry budget
+        assert client.retried == 1
+
+    def test_zero_retries_still_has_the_keepalive_fast_path(self, server):
+        spec = baseline_job("swim", 2000, 500)
+        with ServeClient(server.url, retries=0) as client:
+            client.submit(spec)
+            client._conn.close()
+            assert client.submit_with_source(spec)[1] == "cache"
+            assert client.retried == 0
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            ServeClient("http://localhost:1", retries=-1)
 
 
 class TestRemoteScheduler:
